@@ -1,0 +1,14 @@
+"""Benchmark-suite pytest config: make the repo root importable.
+
+The benchmarks share helpers in ``benchmarks/harness.py``; adding the
+directory to ``sys.path`` keeps ``from harness import ...`` working no
+matter where pytest is invoked from.
+"""
+
+import sys
+from pathlib import Path
+
+_HERE = Path(__file__).resolve().parent
+for path in (str(_HERE), str(_HERE.parent / "src")):
+    if path not in sys.path:
+        sys.path.insert(0, path)

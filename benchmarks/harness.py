@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure from the paper: it runs the
+corresponding simulation once (via ``benchmark.pedantic``), prints the same
+rows/series the paper reports, writes them to ``bench_reports/`` so the
+output survives pytest's capture, and asserts the *shape* of the result
+(who wins, by roughly what factor) rather than absolute numbers.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+REPORT_DIR = Path(__file__).resolve().parent.parent / "bench_reports"
+
+
+def emit_report(name: str, text: str) -> None:
+    """Print a report and persist it under ``bench_reports/<name>.txt``."""
+    print()
+    print(text)
+    REPORT_DIR.mkdir(exist_ok=True)
+    (REPORT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def pct(fraction: float) -> str:
+    """``0.671 -> '67.1%'``."""
+    return f"{fraction * 100:.1f}%"

@@ -1,0 +1,97 @@
+"""Section 7 ablation: cache replica count with remote fallback.
+
+"Increasing the number of replicas can alleviate pressure on hot spots but
+may inadvertently lead to increased latency in locating an unoccupied cache
+node.  In practice ... we adopted a strategy that limits the number of
+cache replicas to a maximum of two.  In cases where both replicas are
+unavailable ... the system defaults to retrieving data from remote storage.
+This hybrid approach ... has demonstrated greater robustness and lower
+latency in practice compared to simply increasing the number of replicas."
+
+A hot-spot workload (Zipf tables, multi-split hot files) on an 8-worker
+cluster.  The experiment shows exactly the paper's two findings:
+
+1. going from one replica to two relieves the hot spot (fewer forced
+   remote fallbacks, lower scan latency), and
+2. going past two buys essentially nothing -- the second replica already
+   absorbs the spill -- while every extra replica adds occupancy-probe
+   work to hot-file scheduling.
+"""
+
+import numpy as np
+import pytest
+
+from harness import emit_report, pct
+from production_harness import MIB, build_production_catalog, production_stream
+from repro.analysis import Table
+from repro.presto import PrestoCluster
+
+REPLICA_COUNTS = [1, 2, 4, 8]
+WARMUP = 80
+PROBE_LATENCY = 0.01
+
+
+def run_one(max_replicas: int):
+    # multi-split files (8 MiB files, 2 MiB splits) concentrate a hot
+    # file's splits on its ring worker, so the busy threshold actually
+    # forces spill across the replica set
+    catalog, source = build_production_catalog(
+        n_tables=12, partitions_per_table=24, file_size=8 * MIB,
+    )
+    queries = production_stream(
+        catalog, n_queries=240, table_zipf=1.1, queries_per_day=20,
+        io_wall_scale=0.15,
+    )
+    cluster = PrestoCluster.create(
+        catalog, source, n_workers=8,
+        cache_capacity_bytes=16 * MIB, page_size=256 * 1024,
+        target_split_size=2 * MIB,
+        max_replicas=max_replicas,
+        max_splits_per_node=8,
+        probe_latency=PROBE_LATENCY,
+    )
+    walls = [cluster.coordinator.run_query(q).stats.input_wall for q in queries]
+    fallbacks = sum(
+        q.cache_bypassed_splits for q in cluster.coordinator.aggregator.queries()
+    )
+    total_splits = sum(
+        q.splits for q in cluster.coordinator.aggregator.queries()
+    )
+    return {
+        "hit_ratio": cluster.coordinator.cluster_hit_ratio(),
+        "mean_input_wall": float(np.mean(walls[WARMUP:])),
+        "fallback_fraction": fallbacks / total_splits,
+    }
+
+
+def run_experiment():
+    return {r: run_one(r) for r in REPLICA_COUNTS}
+
+
+@pytest.mark.benchmark(group="ablation_replicas")
+def test_ablation_replicas(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    table = Table(
+        ["max replicas", "cluster hit ratio", "mean inputWall (s)",
+         "remote-fallback splits"],
+        title="Section 7 -- cache replicas + remote fallback",
+    )
+    for count in REPLICA_COUNTS:
+        r = results[count]
+        table.add_row(
+            [count, pct(r["hit_ratio"]), f"{r['mean_input_wall']:.3f}",
+             pct(r["fallback_fraction"])]
+        )
+    emit_report("ablation_replicas", table.render())
+
+    # finding 1: the second replica relieves the hot spot
+    assert results[2]["fallback_fraction"] < results[1]["fallback_fraction"]
+    assert results[2]["mean_input_wall"] < results[1]["mean_input_wall"]
+    # finding 2: "simply increasing the number of replicas" past two buys
+    # essentially nothing -- two replicas + remote fallback already capture
+    # the benefit (within 3%)
+    assert (
+        results[2]["mean_input_wall"] <= results[8]["mean_input_wall"] * 1.03
+    )
+    assert results[2]["fallback_fraction"] <= 0.05

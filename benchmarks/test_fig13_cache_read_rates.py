@@ -1,0 +1,59 @@
+"""Figure 13: cache vs non-cache read rates in an HDFS DataNode.
+
+The paper (one production DataNode, one hour): "the rate of bytes read from
+the cache is, on average, threefold that of non-cache reads.  More than 70%
+of total read bytes are serviced by the local cache."
+"""
+
+import numpy as np
+import pytest
+
+from harness import emit_report, pct
+from hdfs_harness import MIB, build_datanode, replay_trace
+from repro.analysis import Table
+
+DURATION = 3600.0
+READS_PER_SECOND = 40.0
+
+
+def run_experiment():
+    setup = build_datanode(cache_capacity_bytes=12 * MIB, admission_threshold=3)
+    replay_trace(
+        setup, duration_seconds=DURATION, reads_per_second=READS_PER_SECOND,
+        zipf_s=1.15,
+    )
+    return setup
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13_cache_read_rates(benchmark):
+    setup = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    cache_buckets, other_buckets = setup.cached.traffic_rates(60.0)
+    base_minute = min([*cache_buckets, *other_buckets])
+    minutes = range(base_minute, base_minute + int(DURATION // 60))
+    table = Table(
+        ["minute", "cache MiB/min", "non-cache MiB/min"],
+        title="Figure 13 -- per-minute read rates in one DataNode",
+    )
+    for minute in list(minutes)[::6]:  # every 6th minute keeps the report compact
+        table.add_row([
+            minute - base_minute,
+            f"{cache_buckets.get(minute, 0) / MIB:.1f}",
+            f"{other_buckets.get(minute, 0) / MIB:.1f}",
+        ])
+    total_cache = sum(cache_buckets.values())
+    total_other = sum(other_buckets.values())
+    share = total_cache / (total_cache + total_other)
+    # steady-state per-minute ratio (skip the 10-minute warm-up)
+    steady = [m for m in minutes if m - base_minute >= 10]
+    ratios = [
+        cache_buckets.get(m, 0) / max(other_buckets.get(m, 1), 1) for m in steady
+    ]
+    mean_ratio = float(np.mean(ratios))
+    table.add_row(["total share", pct(share), f"ratio {mean_ratio:.1f}x"])
+    emit_report("fig13_cache_read_rates", table.render())
+
+    # the paper's two headline claims:
+    assert share > 0.70  # >70% of read bytes from the cache
+    assert 2.0 <= mean_ratio <= 5.0  # cache rate ~threefold non-cache rate

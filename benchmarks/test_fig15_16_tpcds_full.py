@@ -1,0 +1,53 @@
+"""Figures 15 and 16 (Appendix A): the full TPC-DS run, Q1-Q99.
+
+Same protocol as Figure 9, extended to all 99 queries: Figure 15 covers
+Q1-Q49, Figure 16 covers Q50-Q99.
+"""
+
+import numpy as np
+import pytest
+
+from harness import emit_report, pct
+from presto_harness import calibrate_compute_tails, run_cold_vs_warm
+from repro.analysis import Table
+from repro.workload.tpcds import tpcds_queries
+
+
+def run_experiment():
+    return run_cold_vs_warm(calibrate_compute_tails(tpcds_queries()))
+
+
+@pytest.mark.benchmark(group="fig15_16")
+def test_fig15_16_tpcds_full(benchmark):
+    result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    reductions = result.reductions()
+
+    for figure, lo, hi in (("fig15", 1, 49), ("fig16", 50, 99)):
+        table = Table(
+            ["query", "non-cache (s)", "warm cache (s)", "reduction"],
+            title=f"Figure {figure[3:]} -- TPC-DS Q{lo}-Q{hi} execution time",
+        )
+        for qid, cold, warm, reduction in zip(
+            result.query_ids, result.cold_walls, result.warm_walls, reductions
+        ):
+            number = int(qid[1:])
+            if lo <= number <= hi:
+                table.add_row([qid, f"{cold:.3f}", f"{warm:.3f}", pct(reduction)])
+        emit_report(f"{figure}_tpcds_full", table.render())
+
+    mean_reduction = float(np.mean(reductions))
+    summary = (
+        f"TPC-DS Q1-Q99 summary: mean reduction {pct(mean_reduction)}, "
+        f"median {pct(float(np.median(reductions)))}, "
+        f"min {pct(min(reductions))}, max {pct(max(reductions))}, "
+        f"warm hit ratio "
+        f"{result.warm_cluster.coordinator.cluster_hit_ratio():.3f}"
+    )
+    emit_report("fig15_16_summary", summary)
+
+    # every query benefits, with the aggregate in the paper's band
+    assert all(r > 0 for r in reductions)
+    assert 0.08 <= mean_reduction <= 0.40
+    # at least three quarters of queries land within a generous 5-45% band
+    in_band = sum(1 for r in reductions if 0.05 <= r <= 0.45)
+    assert in_band / len(reductions) >= 0.75

@@ -1,0 +1,48 @@
+"""Figure 9: TPC-DS Query 81-99 execution time, with vs without cache.
+
+The paper: "a reduction in query execution times of Query 81 to Query 99,
+ranging from approximately 10% to 30% when data is pre-loaded into the
+cache" (TPC-DS SF100, Parquet on S3, 4 workers).
+"""
+
+import numpy as np
+import pytest
+
+from harness import emit_report, pct
+from presto_harness import calibrate_compute_tails, run_cold_vs_warm
+from repro.analysis import Table
+from repro.workload.tpcds import tpcds_queries
+
+
+def run_experiment():
+    queries = [q for q in tpcds_queries() if 81 <= int(q.query_id[1:]) <= 99]
+    return run_cold_vs_warm(calibrate_compute_tails(queries))
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_tpcds_q81_99(benchmark):
+    result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    reductions = result.reductions()
+    table = Table(
+        ["query", "non-cache (s)", "warm cache (s)", "reduction"],
+        title="Figure 9 -- TPC-DS Q81-Q99 execution time (paper: ~10-30% faster)",
+    )
+    for qid, cold, warm, reduction in zip(
+        result.query_ids, result.cold_walls, result.warm_walls, reductions
+    ):
+        table.add_row([qid, f"{cold:.3f}", f"{warm:.3f}", pct(reduction)])
+    table.add_row(
+        ["mean", f"{np.mean(result.cold_walls):.3f}",
+         f"{np.mean(result.warm_walls):.3f}", pct(float(np.mean(reductions)))]
+    )
+    emit_report("fig9_tpcds_q81_99", table.render())
+
+    # shape: the warm cache wins on every query
+    assert all(r > 0 for r in reductions)
+    # and the typical speedup sits in the paper's ~10-30% band
+    mean_reduction = float(np.mean(reductions))
+    assert 0.08 <= mean_reduction <= 0.40
+    assert 0.05 <= float(np.median(reductions)) <= 0.40
+    # the warm cluster served the bulk of pages locally
+    assert result.warm_cluster.coordinator.cluster_hit_ratio() > 0.45

@@ -1,0 +1,13 @@
+"""Repo-root pytest config: make the src layout importable without install.
+
+Offline environments may lack the `wheel` module that `pip install -e .`
+needs; `python setup.py develop` works there, and this path fallback keeps
+`pytest` working in either case.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""ML training over the FUSE layer (Figure 6's compute-layer use case).
+
+"In the realm of machine learning, particularly in training phases,
+Filesystem in Userspace (FUSE) utilizes the local cache to help improve
+training performance and GPU utilization."
+
+A training loop re-reads a sharded dataset every epoch (shuffled, as real
+loaders do).  Epoch 1 is I/O-bound against remote storage; later epochs
+are served from the local SSD cache and GPU utilization climbs.
+
+Run:  python examples/ml_training.py
+"""
+
+from repro.core import CacheConfig, LocalCacheManager
+from repro.fuse import CachedFileSystem, TrainingConfig, TrainingLoop
+from repro.storage import NullDataSource
+
+KIB = 1024
+MIB = 1024 * KIB
+
+
+def main() -> None:
+    # a sharded training dataset in remote object storage
+    source = NullDataSource(base_latency=0.03, bandwidth=120e6)
+    shards = []
+    for n in range(8):
+        path = f"datasets/imagenet-mini/shard-{n:03d}.rec"
+        source.add_file(path, 4 * MIB)
+        shards.append(path)
+
+    cache = LocalCacheManager(CacheConfig.small(64 * MIB, page_size=1 * MIB))
+    filesystem = CachedFileSystem(cache, source)
+
+    loop = TrainingLoop(
+        filesystem,
+        shards,
+        TrainingConfig(
+            batch_size=32,
+            sample_size=64 * KIB,
+            step_compute_seconds=0.08,
+            shuffle=True,
+            prefetch=True,
+        ),
+    )
+    print(f"dataset  : {len(shards)} shards, "
+          f"{loop.samples_per_epoch} samples/epoch\n")
+    print(f"{'epoch':>5} {'wall (s)':>9} {'stall (s)':>10} "
+          f"{'GPU util':>9} {'hit ratio':>10}")
+    for stats in loop.run(epochs=5):
+        print(f"{stats.epoch:>5} {stats.wall_seconds:>9.2f} "
+              f"{stats.stall_seconds:>10.2f} "
+              f"{stats.gpu_utilization * 100:>8.1f}% "
+              f"{stats.cache_hit_ratio:>10.2f}")
+
+    first, last = loop.history[0], loop.history[-1]
+    print(f"\nepoch wall time: {first.wall_seconds:.2f}s -> "
+          f"{last.wall_seconds:.2f}s "
+          f"({(1 - last.wall_seconds / first.wall_seconds) * 100:.0f}% faster)")
+    print(f"GPU utilization: {first.gpu_utilization * 100:.1f}% -> "
+          f"{last.gpu_utilization * 100:.1f}%")
+    print(f"cache now holds {cache.bytes_used // MIB} MiB "
+          f"of the {8 * 4} MiB dataset")
+
+
+if __name__ == "__main__":
+    main()

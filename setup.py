@@ -1,0 +1,9 @@
+"""Shim for environments without the `wheel` package (offline installs).
+
+`pip install -e . --no-build-isolation` requires bdist_wheel on the
+pinned setuptools here; `python setup.py develop` does not.  All real
+metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

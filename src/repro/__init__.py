@@ -1,0 +1,63 @@
+"""Reproduction of *Data Caching for Enterprise-Grade Petabyte-Scale OLAP*
+(Tang et al., USENIX ATC 2024).
+
+The package implements the Alluxio local (edge) cache -- the paper's
+contribution -- together with every substrate its evaluation depends on:
+
+- :mod:`repro.core` -- the local cache (page store, indexed-set metastore,
+  admission, hierarchical quotas, pluggable eviction, metrics).
+- :mod:`repro.sim` -- the discrete-event kernel (virtual clock, event loop,
+  seeded RNG streams).
+- :mod:`repro.storage` -- device models, an S3-like object store, and an
+  HDFS subset (NameNode / DataNodes / generation stamps).
+- :mod:`repro.format` -- a simplified Parquet/ORC-like columnar container.
+- :mod:`repro.presto` -- a Presto simulator with soft-affinity scheduling
+  and per-query runtime stats.
+- :mod:`repro.hdfs_cache` -- the HDFS DataNode local cache with
+  ``BucketTimeRateLimit`` admission.
+- :mod:`repro.workload` -- Zipfian traces, fragmented-read distributions,
+  and TPC-DS-shaped query templates.
+- :mod:`repro.analysis` -- percentile/time-series helpers and report tables.
+
+Quickstart::
+
+    from repro.core import LocalCacheManager, CacheConfig, CacheScope
+    from repro.storage import SyntheticDataSource
+
+    source = SyntheticDataSource()
+    source.add_file("warehouse/orders/part-0.parquet", 8 * 1024 * 1024)
+    cache = LocalCacheManager(CacheConfig.small(32 * 1024 * 1024))
+    result = cache.read("warehouse/orders/part-0.parquet", 0, 4096, source)
+    assert result.page_misses == 1      # cold read went to the source
+    again = cache.read("warehouse/orders/part-0.parquet", 0, 4096, source)
+    assert again.fully_cached           # warm read served locally
+"""
+
+from repro.core import (
+    CacheConfig,
+    CacheDirectory,
+    CacheReadResult,
+    CacheScope,
+    LocalCacheManager,
+    MetricsRegistry,
+    PageId,
+    QuotaManager,
+)
+from repro.sim import EventLoop, RngStream, SimClock
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LocalCacheManager",
+    "CacheReadResult",
+    "CacheConfig",
+    "CacheDirectory",
+    "CacheScope",
+    "PageId",
+    "QuotaManager",
+    "MetricsRegistry",
+    "SimClock",
+    "EventLoop",
+    "RngStream",
+    "__version__",
+]

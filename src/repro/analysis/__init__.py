@@ -1,0 +1,16 @@
+"""Analysis helpers for the benchmark harness."""
+
+from repro.analysis.percentile import percentile, percentiles, reduction
+from repro.analysis.report import Table, format_bytes, format_seconds
+from repro.analysis.timeseries import bucket_series, rate_series
+
+__all__ = [
+    "percentile",
+    "percentiles",
+    "reduction",
+    "Table",
+    "format_bytes",
+    "format_seconds",
+    "bucket_series",
+    "rate_series",
+]

@@ -1,0 +1,108 @@
+"""Frequency-sketch admission (TinyLFU-style), an alternative §5.1 policy.
+
+``BucketTimeRateLimit`` keeps exact per-key counts inside a sliding window,
+which costs memory proportional to the keyset.  At petabyte scale the
+keyset (every block touched in the window) can be large; a *frequency
+sketch* bounds memory at a fixed size while still answering "has this key
+been seen often lately?" approximately.  This module provides:
+
+- :class:`CountMinSketch` -- the classic probabilistic counter: ``depth``
+  rows of ``width`` counters, each key hashed into one counter per row;
+  the estimate is the row minimum (over-counts possible, under-counts
+  impossible).
+- :class:`TinyLfuAdmission` -- admission after the sketch-estimated
+  frequency crosses a threshold, with periodic *aging* (halving all
+  counters) so stale popularity decays -- the sketch analogue of the
+  rate limiter's bucket rotation.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from repro.core.scope import CacheScope
+
+
+class CountMinSketch:
+    """A Count-Min sketch over string keys.
+
+    Guarantees: ``estimate(k) >= true_count(k)`` always (no undercount);
+    overestimation is bounded by the sketch size relative to the total
+    increments.
+    """
+
+    def __init__(self, width: int = 16_384, depth: int = 4) -> None:
+        if width <= 0 or depth <= 0:
+            raise ValueError(f"width/depth must be positive, got {width}/{depth}")
+        self.width = width
+        self.depth = depth
+        self._counters = np.zeros((depth, width), dtype=np.int64)
+        self.total_increments = 0
+
+    def _indices(self, key: str) -> list[int]:
+        raw = key.encode("utf-8")
+        return [
+            zlib.crc32(raw, row * 0x9E3779B9 & 0xFFFFFFFF) % self.width
+            for row in range(self.depth)
+        ]
+
+    def increment(self, key: str, amount: int = 1) -> None:
+        if amount <= 0:
+            raise ValueError(f"amount must be positive, got {amount}")
+        for row, index in enumerate(self._indices(key)):
+            self._counters[row, index] += amount
+        self.total_increments += amount
+
+    def estimate(self, key: str) -> int:
+        return int(
+            min(
+                self._counters[row, index]
+                for row, index in enumerate(self._indices(key))
+            )
+        )
+
+    def age(self) -> None:
+        """Halve every counter (TinyLFU's reset: popularity decays)."""
+        self._counters //= 2
+        self.total_increments //= 2
+
+
+class TinyLfuAdmission:
+    """Admit keys whose sketched frequency reaches ``threshold``.
+
+    Aging runs every ``age_every`` increments, so the effective window is
+    roughly ``age_every`` recent accesses -- fixed memory regardless of
+    how many distinct keys flow past (the advantage over exact windowed
+    counting).
+    """
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        *,
+        sketch: CountMinSketch | None = None,
+        age_every: int = 100_000,
+    ) -> None:
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive, got {threshold}")
+        if age_every <= 0:
+            raise ValueError(f"age_every must be positive, got {age_every}")
+        self.threshold = threshold
+        self.age_every = age_every
+        self.sketch = sketch if sketch is not None else CountMinSketch()
+        self._since_age = 0
+
+    def record_and_check(self, key: str) -> bool:
+        self.sketch.increment(key)
+        self._since_age += 1
+        if self._since_age >= self.age_every:
+            self.sketch.age()
+            self._since_age = 0
+        return self.sketch.estimate(key) >= self.threshold
+
+    # -- AdmissionPolicy protocol ------------------------------------------
+
+    def admit(self, file_id: str, scope: CacheScope, now: float) -> bool:
+        return self.record_and_check(file_id)

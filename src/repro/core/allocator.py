@@ -1,0 +1,116 @@
+"""Directory allocators (Section 4.1 "allocator").
+
+The allocator assigns each new page to one of the cache directories,
+"considering factors like file identification, hash algorithms, directory
+capacity, and page affinity."  Three strategies are provided:
+
+- :class:`AffinityAllocator` -- hash of the file ID, so all pages of a file
+  land in the same directory (page affinity; the production default),
+  overflowing to the emptiest directory when the preferred one is full.
+- :class:`MaxFreeAllocator` -- always the directory with the most free
+  space (balances usage, destroys affinity).
+- :class:`RoundRobinAllocator` -- rotates through directories.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Protocol
+
+from repro.core.config import CacheConfig
+from repro.core.metastore import PageMetaStore
+
+
+class Allocator(Protocol):
+    """Chooses a directory index for a new page of ``size`` bytes.
+
+    Returns the directory index, or ``None`` when no directory could hold
+    the page even after hypothetical eviction (page larger than every
+    directory).
+    """
+
+    def allocate(self, file_id: str, size: int) -> int | None:
+        ...
+
+
+class _BaseAllocator:
+    def __init__(self, config: CacheConfig, metastore: PageMetaStore) -> None:
+        self._config = config
+        self._metastore = metastore
+
+    def _free_bytes(self, directory: int) -> int:
+        capacity = self._config.directories[directory].capacity_bytes
+        return capacity - self._metastore.bytes_in_dir(directory)
+
+    def _fits_somewhere(self, size: int) -> bool:
+        return any(d.capacity_bytes >= size for d in self._config.directories)
+
+    def _emptiest(self) -> int:
+        return max(
+            range(len(self._config.directories)),
+            key=lambda i: self._free_bytes(i),
+        )
+
+
+class AffinityAllocator(_BaseAllocator):
+    """Hash the file ID onto a directory; overflow to the emptiest one.
+
+    Keeping a file's pages together makes file-level delete touch one device
+    and keeps the directory layout of Figure 4 compact.
+    """
+
+    def allocate(self, file_id: str, size: int) -> int | None:
+        if not self._fits_somewhere(size):
+            return None
+        preferred = zlib.crc32(file_id.encode("utf-8")) % len(self._config.directories)
+        if self._config.directories[preferred].capacity_bytes >= size:
+            return preferred
+        return self._emptiest()
+
+
+class MaxFreeAllocator(_BaseAllocator):
+    """Always pick the directory with the most free space."""
+
+    def allocate(self, file_id: str, size: int) -> int | None:
+        if not self._fits_somewhere(size):
+            return None
+        candidate = self._emptiest()
+        if self._config.directories[candidate].capacity_bytes < size:
+            return None
+        return candidate
+
+
+class RoundRobinAllocator(_BaseAllocator):
+    """Rotate through directories, skipping ones too small for the page."""
+
+    def __init__(self, config: CacheConfig, metastore: PageMetaStore) -> None:
+        super().__init__(config, metastore)
+        self._cursor = 0
+
+    def allocate(self, file_id: str, size: int) -> int | None:
+        total = len(self._config.directories)
+        for step in range(total):
+            index = (self._cursor + step) % total
+            if self._config.directories[index].capacity_bytes >= size:
+                self._cursor = (index + 1) % total
+                return index
+        return None
+
+
+_ALLOCATORS = {
+    "affinity": AffinityAllocator,
+    "max_free": MaxFreeAllocator,
+    "round_robin": RoundRobinAllocator,
+}
+
+
+def make_allocator(config: CacheConfig, metastore: PageMetaStore) -> Allocator:
+    """Instantiate the allocator named by ``config.allocator``."""
+    try:
+        cls = _ALLOCATORS[config.allocator]
+    except KeyError:
+        raise ValueError(
+            f"unknown allocator {config.allocator!r}; "
+            f"choose from {sorted(_ALLOCATORS)}"
+        ) from None
+    return cls(config, metastore)

@@ -1,0 +1,30 @@
+"""Cache eviction policies (Section 4.1 "evictor").
+
+The paper names FIFO, random, and LRU, "with an interface for the
+integration of alternative policies"; LFU and Clock are provided through
+that same interface.  Time-based (TTL) expiry is handled separately by the
+cache manager's periodic sweep, since it is trigger-based rather than
+capacity-based.
+"""
+
+from repro.core.eviction.base import EvictionPolicy, make_eviction_policy
+from repro.core.eviction.policies import (
+    ClockPolicy,
+    FifoPolicy,
+    LfuPolicy,
+    LruPolicy,
+    RandomPolicy,
+)
+from repro.core.eviction.scan_resistant import SlruPolicy, TwoQPolicy
+
+__all__ = [
+    "EvictionPolicy",
+    "make_eviction_policy",
+    "LruPolicy",
+    "FifoPolicy",
+    "RandomPolicy",
+    "LfuPolicy",
+    "ClockPolicy",
+    "TwoQPolicy",
+    "SlruPolicy",
+]

@@ -1,0 +1,75 @@
+"""Eviction policy interface and factory."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+from repro.core.page import PageId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.rng import RngStream
+
+
+@runtime_checkable
+class EvictionPolicy(Protocol):
+    """Tracks page residency and access recency; nominates victims.
+
+    The cache manager calls :meth:`on_put` when a page is admitted,
+    :meth:`on_access` on every hit, :meth:`on_delete` when a page leaves the
+    cache for *any* reason (explicit delete, TTL expiry, quota eviction),
+    and :meth:`victim` when space must be reclaimed.
+
+    Invariant (property-tested): the set of pages the policy tracks always
+    equals the set of resident pages, and ``victim()`` only ever returns a
+    tracked page.
+    """
+
+    def on_put(self, page_id: PageId) -> None:
+        ...
+
+    def on_access(self, page_id: PageId) -> None:
+        ...
+
+    def on_delete(self, page_id: PageId) -> None:
+        ...
+
+    def victim(self) -> PageId | None:
+        """Nominate the next page to evict (``None`` if nothing is tracked).
+
+        The nomination does not itself remove the page; the cache manager
+        performs the delete and then calls :meth:`on_delete`.
+        """
+        ...
+
+    def __len__(self) -> int:
+        ...
+
+
+def make_eviction_policy(name: str, rng: "RngStream | None" = None) -> EvictionPolicy:
+    """Instantiate a policy by config name (``lru``/``fifo``/``random``/``lfu``/``clock``)."""
+    from repro.core.eviction.policies import (
+        ClockPolicy,
+        FifoPolicy,
+        LfuPolicy,
+        LruPolicy,
+        RandomPolicy,
+    )
+    from repro.core.eviction.scan_resistant import SlruPolicy, TwoQPolicy
+
+    table = {
+        "lru": LruPolicy,
+        "fifo": FifoPolicy,
+        "lfu": LfuPolicy,
+        "clock": ClockPolicy,
+        "2q": TwoQPolicy,
+        "slru": SlruPolicy,
+    }
+    if name == "random":
+        return RandomPolicy(rng)
+    try:
+        return table[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown eviction policy {name!r}; choose from "
+            f"{sorted([*table, 'random'])}"
+        ) from None

@@ -1,0 +1,149 @@
+"""Scan-resistant eviction policies: 2Q and Segmented LRU.
+
+The paper exposes the evictor as "an interface for the integration of
+alternative policies".  Plain LRU has a known weakness in OLAP: one large
+sequential table scan flushes the whole cache.  These two classic policies
+resist that:
+
+- **2Q** (Johnson & Shasha): new pages enter a probationary FIFO (``A1in``)
+  sized as a fraction of the cache; only pages re-referenced after leaving
+  it (tracked by a ghost list, ``A1out``) are promoted into the main LRU
+  (``Am``).  A one-pass scan dies in the probation queue without touching
+  the hot set.
+- **SLRU**: two LRU segments -- probationary and protected.  A hit in
+  probation promotes to protected; protected overflow demotes back to the
+  probationary segment's MRU end.  Victims come from the probationary tail.
+
+Both implement the standard :class:`~repro.core.eviction.base.EvictionPolicy`
+protocol and are registered with the factory under ``"2q"`` and ``"slru"``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.core.page import PageId
+
+
+class TwoQPolicy:
+    """The 2Q eviction policy (simplified full version).
+
+    Args:
+        in_fraction: target share of resident pages kept in the
+            probationary ``A1in`` queue.
+        ghost_factor: size of the ghost list relative to resident pages.
+    """
+
+    def __init__(self, in_fraction: float = 0.25, ghost_factor: float = 0.5) -> None:
+        if not 0 < in_fraction < 1:
+            raise ValueError(f"in_fraction must be in (0, 1), got {in_fraction}")
+        if ghost_factor <= 0:
+            raise ValueError(f"ghost_factor must be positive, got {ghost_factor}")
+        self.in_fraction = in_fraction
+        self.ghost_factor = ghost_factor
+        self._a1in: OrderedDict[PageId, None] = OrderedDict()   # probation FIFO
+        self._am: OrderedDict[PageId, None] = OrderedDict()     # main LRU
+        self._a1out: OrderedDict[PageId, None] = OrderedDict()  # ghosts
+
+    def __len__(self) -> int:
+        return len(self._a1in) + len(self._am)
+
+    def _ghost_capacity(self) -> int:
+        return max(int(len(self) * self.ghost_factor), 4)
+
+    def _remember_ghost(self, page_id: PageId) -> None:
+        self._a1out[page_id] = None
+        self._a1out.move_to_end(page_id)
+        while len(self._a1out) > self._ghost_capacity():
+            self._a1out.popitem(last=False)
+
+    def on_put(self, page_id: PageId) -> None:
+        if page_id in self._a1in or page_id in self._am:
+            self.on_access(page_id)
+            return
+        if page_id in self._a1out:
+            # re-referenced after probation: straight into the hot set
+            del self._a1out[page_id]
+            self._am[page_id] = None
+            return
+        self._a1in[page_id] = None
+
+    def on_access(self, page_id: PageId) -> None:
+        if page_id in self._am:
+            self._am.move_to_end(page_id)
+        # hits inside A1in do not promote (2Q's defining rule: correlated
+        # references within the probation window don't count)
+
+    def on_delete(self, page_id: PageId) -> None:
+        if page_id in self._a1in:
+            del self._a1in[page_id]
+            # leaving probation: remember it so a re-reference can promote
+            self._remember_ghost(page_id)
+            return
+        self._am.pop(page_id, None)
+
+    def victim(self) -> PageId | None:
+        total = len(self)
+        if total == 0:
+            return None
+        in_target = max(int(total * self.in_fraction), 1)
+        if self._a1in and (len(self._a1in) >= in_target or not self._am):
+            return next(iter(self._a1in))
+        if self._am:
+            return next(iter(self._am))
+        return next(iter(self._a1in))
+
+
+class SlruPolicy:
+    """Segmented LRU with probationary and protected segments.
+
+    Args:
+        protected_fraction: target share of resident pages in the
+            protected segment.
+    """
+
+    def __init__(self, protected_fraction: float = 0.8) -> None:
+        if not 0 < protected_fraction < 1:
+            raise ValueError(
+                f"protected_fraction must be in (0, 1), got {protected_fraction}"
+            )
+        self.protected_fraction = protected_fraction
+        self._probation: OrderedDict[PageId, None] = OrderedDict()
+        self._protected: OrderedDict[PageId, None] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._probation) + len(self._protected)
+
+    def on_put(self, page_id: PageId) -> None:
+        if page_id in self._probation or page_id in self._protected:
+            self.on_access(page_id)
+            return
+        self._probation[page_id] = None
+
+    def on_access(self, page_id: PageId) -> None:
+        if page_id in self._protected:
+            self._protected.move_to_end(page_id)
+            return
+        if page_id in self._probation:
+            del self._probation[page_id]
+            self._protected[page_id] = None
+            self._rebalance()
+
+    def _rebalance(self) -> None:
+        cap = max(int(len(self) * self.protected_fraction), 1)
+        while len(self._protected) > cap:
+            demoted, __ = self._protected.popitem(last=False)
+            self._probation[demoted] = None  # re-enter at probation MRU
+
+    def on_delete(self, page_id: PageId) -> None:
+        if page_id in self._probation:
+            del self._probation[page_id]
+        else:
+            self._protected.pop(page_id, None)
+
+    def victim(self) -> PageId | None:
+        if self._probation:
+            return next(iter(self._probation))
+        if self._protected:
+            return next(iter(self._protected))
+        return None

@@ -1,0 +1,173 @@
+"""A generic multi-index set (Figure 5).
+
+The paper's metastore evolved from two ad-hoc maps (by page ID and by file
+ID) to *indexed sets*: a universe of page metadata plus any number of
+secondary indices, each keyed by a property of the element.  Membership,
+insertion, and removal keep every index consistent; lookups by any index are
+O(1) to the bucket.
+
+This module implements that structure generically so the metastore can index
+pages by file ID, by storage directory, and by scope without bespoke
+bookkeeping for each.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Hashable, Iterable, Iterator, TypeVar
+
+T = TypeVar("T")
+K = TypeVar("K", bound=Hashable)
+
+
+class Index(Generic[T]):
+    """One secondary index: ``property(element) -> set of elements``.
+
+    An index function may map an element to a single key or, via
+    ``multi=True``, to an iterable of keys (used for scope indices where a
+    page belongs to its partition scope *and* every ancestor scope).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        key_fn: Callable[[T], Hashable] | Callable[[T], Iterable[Hashable]],
+        *,
+        multi: bool = False,
+    ) -> None:
+        self.name = name
+        self._key_fn = key_fn
+        self._multi = multi
+        self._buckets: dict[Hashable, set[int]] = {}
+
+    def _keys_for(self, element: T) -> tuple[Hashable, ...]:
+        raw = self._key_fn(element)
+        if self._multi:
+            return tuple(raw)  # type: ignore[arg-type]
+        return (raw,)
+
+    def _add(self, token: int, element: T) -> None:
+        for key in self._keys_for(element):
+            self._buckets.setdefault(key, set()).add(token)
+
+    def _remove(self, token: int, element: T) -> None:
+        for key in self._keys_for(element):
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                continue
+            bucket.discard(token)
+            if not bucket:
+                del self._buckets[key]
+
+    def keys(self) -> Iterator[Hashable]:
+        """All distinct index keys currently populated."""
+        return iter(self._buckets.keys())
+
+    def bucket_size(self, key: Hashable) -> int:
+        return len(self._buckets.get(key, ()))
+
+
+class IndexedSet(Generic[T]):
+    """A set with O(1) lookups along any registered index.
+
+    Elements are stored once (keyed by an internal token derived from a
+    caller-supplied *primary key*); every index maps property values to
+    token sets.  All mutation goes through :meth:`add` / :meth:`discard`,
+    which keep the indices consistent -- the invariant the property tests
+    in ``tests/core/test_indexed_set.py`` verify.
+
+    >>> s = IndexedSet(primary=lambda x: x)
+    >>> s.register_index(Index("parity", lambda x: x % 2))
+    >>> for n in range(5):
+    ...     _ = s.add(n)
+    >>> sorted(s.lookup("parity", 0))
+    [0, 2, 4]
+    """
+
+    def __init__(self, primary: Callable[[T], Hashable]) -> None:
+        self._primary = primary
+        self._elements: dict[int, T] = {}
+        self._token_of: dict[Hashable, int] = {}
+        self._next_token = 0
+        self._indices: dict[str, Index[T]] = {}
+
+    # -- index registration ------------------------------------------------
+
+    def register_index(self, index: Index[T]) -> None:
+        """Attach an index; existing elements are back-filled into it."""
+        if index.name in self._indices:
+            raise ValueError(f"duplicate index name {index.name!r}")
+        self._indices[index.name] = index
+        for token, element in self._elements.items():
+            index._add(token, element)
+
+    def index_names(self) -> list[str]:
+        return list(self._indices)
+
+    # -- set protocol --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._elements.values())
+
+    def __contains__(self, element: T) -> bool:
+        return self._primary(element) in self._token_of
+
+    def contains_key(self, primary_key: Hashable) -> bool:
+        return primary_key in self._token_of
+
+    def get(self, primary_key: Hashable) -> T | None:
+        """Fetch an element by its primary key, or ``None``."""
+        token = self._token_of.get(primary_key)
+        return None if token is None else self._elements[token]
+
+    def add(self, element: T) -> bool:
+        """Insert; returns False (no-op) if the primary key already exists."""
+        key = self._primary(element)
+        if key in self._token_of:
+            return False
+        token = self._next_token
+        self._next_token += 1
+        self._elements[token] = element
+        self._token_of[key] = token
+        for index in self._indices.values():
+            index._add(token, element)
+        return True
+
+    def replace(self, element: T) -> T | None:
+        """Insert or replace by primary key; returns the displaced element."""
+        key = self._primary(element)
+        old = self.remove_key(key)
+        self.add(element)
+        return old
+
+    def discard(self, element: T) -> bool:
+        """Remove by element; returns True if it was present."""
+        return self.remove_key(self._primary(element)) is not None
+
+    def remove_key(self, primary_key: Hashable) -> T | None:
+        """Remove by primary key; returns the removed element or ``None``."""
+        token = self._token_of.pop(primary_key, None)
+        if token is None:
+            return None
+        element = self._elements.pop(token)
+        for index in self._indices.values():
+            index._remove(token, element)
+        return element
+
+    # -- index lookups -------------------------------------------------------
+
+    def lookup(self, index_name: str, key: Hashable) -> list[T]:
+        """All elements whose indexed property equals ``key``."""
+        index = self._indices[index_name]
+        tokens = index._buckets.get(key, ())
+        return [self._elements[t] for t in tokens]
+
+    def count(self, index_name: str, key: Hashable) -> int:
+        """Bucket size without materializing the elements."""
+        return self._indices[index_name].bucket_size(key)
+
+    def index_keys(self, index_name: str) -> list[Hashable]:
+        """Distinct populated keys of one index."""
+        return list(self._indices[index_name].keys())

@@ -1,0 +1,162 @@
+"""The page metastore: in-memory metadata over indexed sets (Section 4.4).
+
+The metastore is the "index manager" of Figure 3.  It keeps
+:class:`~repro.core.page.PageInfo` for every cached page in an
+:class:`~repro.core.indexed_set.IndexedSet` with four indices:
+
+- ``file``  -- pages of one file (file-level bulk delete, Figure 5 A/B/C),
+- ``dir``   -- pages on one storage directory/device (Figure 5 1/2; used to
+  report per-device usage and to drop everything on a faulty device),
+- ``scope`` -- pages under each scope *and all its ancestors* (partition /
+  table / schema bulk operations without directory listings),
+- lookups by page ID are the primary key, O(1).
+
+It also tracks byte usage per directory and per scope so the allocator and
+quota manager never have to iterate pages to answer "how full is X?".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.indexed_set import Index, IndexedSet
+from repro.core.page import PageId, PageInfo
+from repro.core.scope import CacheScope
+
+
+class PageMetaStore:
+    """In-memory metadata store for cached pages.
+
+    All methods are O(1) or O(result size); nothing iterates the universe.
+    """
+
+    def __init__(self) -> None:
+        self._pages: IndexedSet[PageInfo] = IndexedSet(primary=lambda p: p.page_id)
+        self._pages.register_index(Index("file", lambda p: p.page_id.file_id))
+        self._pages.register_index(Index("dir", lambda p: p.directory))
+        self._pages.register_index(
+            Index("scope", lambda p: [str(s) for s in p.scope.ancestors()], multi=True)
+        )
+        self._bytes_total = 0
+        self._bytes_by_dir: dict[int, int] = {}
+        self._bytes_by_scope: dict[str, int] = {}
+
+    # -- basic accounting ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def __contains__(self, page_id: PageId) -> bool:
+        return self._pages.contains_key(page_id)
+
+    @property
+    def bytes_used(self) -> int:
+        """Total payload bytes currently cached."""
+        return self._bytes_total
+
+    def bytes_in_dir(self, directory: int) -> int:
+        return self._bytes_by_dir.get(directory, 0)
+
+    def bytes_in_scope(self, scope: CacheScope) -> int:
+        """Bytes cached under ``scope`` (including all sub-scopes)."""
+        return self._bytes_by_scope.get(str(scope), 0)
+
+    def pages_in_dir(self, directory: int) -> list[PageInfo]:
+        return self._pages.lookup("dir", directory)
+
+    def pages_of_file(self, file_id: str) -> list[PageInfo]:
+        return self._pages.lookup("file", file_id)
+
+    def pages_in_scope(self, scope: CacheScope) -> list[PageInfo]:
+        """All pages whose scope lies in the subtree rooted at ``scope``."""
+        return self._pages.lookup("scope", str(scope))
+
+    def file_ids(self) -> set[str]:
+        return set(self._pages.index_keys("file"))
+
+    def scopes(self) -> list[CacheScope]:
+        """Every populated scope key (including ancestor roll-ups)."""
+        return [CacheScope.parse(k) for k in self._pages.index_keys("scope")]
+
+    def child_scope_usage(self, scope: CacheScope) -> dict[str, int]:
+        """Byte usage of each direct child scope of ``scope``.
+
+        Used by table-level random eviction across partitions (Section 5.2).
+        """
+        prefix = str(scope)
+        depth = scope.depth
+        usage: dict[str, int] = {}
+        for key, value in self._bytes_by_scope.items():
+            parts = key.split(".")
+            if len(parts) == depth + 1 and key.startswith(prefix + "."):
+                usage[key] = value
+        return usage
+
+    # -- mutation --------------------------------------------------------------
+
+    def get(self, page_id: PageId) -> PageInfo | None:
+        return self._pages.get(page_id)
+
+    def add(self, info: PageInfo) -> bool:
+        """Insert page metadata; returns False if the page already exists."""
+        if not self._pages.add(info):
+            return False
+        self._account(info, +1)
+        return True
+
+    def remove(self, page_id: PageId) -> PageInfo | None:
+        """Remove and return page metadata, or ``None`` if absent."""
+        info = self._pages.remove_key(page_id)
+        if info is not None:
+            self._account(info, -1)
+        return info
+
+    def remove_file(self, file_id: str) -> list[PageInfo]:
+        """Remove all pages of one file; returns the removed metadata."""
+        removed = []
+        for info in list(self._pages.lookup("file", file_id)):
+            self._pages.remove_key(info.page_id)
+            self._account(info, -1)
+            removed.append(info)
+        return removed
+
+    def remove_scope(self, scope: CacheScope) -> list[PageInfo]:
+        """Remove every page under a scope subtree (partition drop)."""
+        removed = []
+        for info in list(self._pages.lookup("scope", str(scope))):
+            self._pages.remove_key(info.page_id)
+            self._account(info, -1)
+            removed.append(info)
+        return removed
+
+    def remove_dir(self, directory: int) -> list[PageInfo]:
+        """Remove every page on one storage directory (faulty device)."""
+        removed = []
+        for info in list(self._pages.lookup("dir", directory)):
+            self._pages.remove_key(info.page_id)
+            self._account(info, -1)
+            removed.append(info)
+        return removed
+
+    def all_pages(self) -> Iterable[PageInfo]:
+        return iter(self._pages)
+
+    def expired_pages(self, now: float) -> list[PageInfo]:
+        """Pages whose TTL has elapsed (the periodic sweep's work list)."""
+        return [info for info in self._pages if info.is_expired(now)]
+
+    # -- internals ---------------------------------------------------------------
+
+    def _account(self, info: PageInfo, sign: int) -> None:
+        delta = sign * info.size
+        self._bytes_total += delta
+        self._bytes_by_dir[info.directory] = (
+            self._bytes_by_dir.get(info.directory, 0) + delta
+        )
+        if self._bytes_by_dir[info.directory] == 0:
+            del self._bytes_by_dir[info.directory]
+        for ancestor in info.scope.ancestors():
+            key = str(ancestor)
+            self._bytes_by_scope[key] = self._bytes_by_scope.get(key, 0) + delta
+            if self._bytes_by_scope[key] == 0:
+                del self._bytes_by_scope[key]

@@ -1,0 +1,125 @@
+"""Page identity and metadata.
+
+Alluxio local cache turns file-level reads into page-level operations
+(Section 4.3).  A page is identified by the file it belongs to plus its
+index within that file; page size is a cache-wide constant (1 MB by
+default), so ``page_index = offset // page_size``.
+
+The paper's HDFS append handling (Section 6.2.3) keys cache entries by
+``(blockId, generation stamp)`` for snapshot isolation; we express that by
+folding the version into the ``file_id`` string (``"blk_17@gs5"``), which
+keeps :class:`PageId` format-agnostic.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+
+from repro.core.scope import CacheScope
+
+
+@dataclass(frozen=True, slots=True)
+class PageId:
+    """Globally unique identity of a cached page.
+
+    Attributes:
+        file_id: opaque identifier of the source file (often a path hash or
+            an HDFS ``blockId@generationStamp`` pair).
+        page_index: zero-based index of the page within the file.
+    """
+
+    file_id: str
+    page_index: int
+
+    def __post_init__(self) -> None:
+        if self.page_index < 0:
+            raise ValueError(f"page_index must be >= 0, got {self.page_index}")
+        if not self.file_id:
+            raise ValueError("file_id must be non-empty")
+
+    def __str__(self) -> str:
+        return f"{self.file_id}#{self.page_index}"
+
+
+@dataclass(slots=True)
+class PageInfo:
+    """Mutable metadata the metastore keeps for one cached page.
+
+    Page *data* lives in the page store (SSD in production); this metadata
+    stays in memory for fast lookups, exactly as Section 4.2 prescribes.
+
+    Attributes:
+        page_id: identity of the page.
+        size: payload size in bytes (the last page of a file may be short).
+        scope: logical scope (partition/table/schema) used by the quota
+            manager and bulk operations.
+        directory: index of the cache directory holding the page file.
+        created_at: virtual/real timestamp of admission.
+        last_access: timestamp of the most recent hit (LRU input).
+        access_count: number of hits since admission (LFU input).
+        ttl: optional time-to-live in seconds (privacy-driven expiry).
+    """
+
+    page_id: PageId
+    size: int
+    scope: CacheScope = field(default_factory=CacheScope.global_scope)
+    directory: int = 0
+    created_at: float = 0.0
+    last_access: float = 0.0
+    access_count: int = 0
+    ttl: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError(f"size must be >= 0, got {self.size}")
+        if self.ttl is not None and self.ttl <= 0:
+            raise ValueError(f"ttl must be positive, got {self.ttl}")
+        if self.last_access == 0.0:
+            self.last_access = self.created_at
+
+    @property
+    def file_id(self) -> str:
+        return self.page_id.file_id
+
+    def touch(self, now: float) -> None:
+        """Record a hit at virtual time ``now``."""
+        self.last_access = now
+        self.access_count += 1
+
+    def is_expired(self, now: float) -> bool:
+        """True if this page's TTL has elapsed at time ``now``."""
+        return self.ttl is not None and now - self.created_at >= self.ttl
+
+
+def pages_for_range(
+    file_id: str, offset: int, length: int, page_size: int
+) -> list[tuple[PageId, int, int]]:
+    """Split a byte range of a file into page-aligned fragments.
+
+    Returns a list of ``(page_id, offset_in_page, length_in_page)`` covering
+    ``[offset, offset + length)``.  This is the translation the cache applies
+    to every positional read (Section 4.3).
+
+    >>> pages_for_range("f", 0, 10, 4)
+    [(PageId(file_id='f', page_index=0), 0, 4), (PageId(file_id='f', page_index=1), 0, 4), (PageId(file_id='f', page_index=2), 0, 2)]
+    """
+    if page_size <= 0:
+        raise ValueError(f"page_size must be positive, got {page_size}")
+    if offset < 0 or length < 0:
+        raise ValueError(f"offset/length must be >= 0, got {offset}/{length}")
+    fragments: list[tuple[PageId, int, int]] = []
+    position = offset
+    end = offset + length
+    while position < end:
+        index = position // page_size
+        in_page = position - index * page_size
+        take = min(page_size - in_page, end - position)
+        fragments.append((PageId(file_id, index), in_page, take))
+        position += take
+    return fragments
+
+
+def now_wall() -> float:
+    """Wall-clock seconds; default timestamp source outside simulations."""
+    return _time.time()

@@ -1,0 +1,28 @@
+"""Page stores: where page payloads live (Sections 4.2 and 4.3).
+
+Three implementations behind one interface:
+
+- :class:`~repro.core.pagestore.memory.MemoryPageStore` -- dict-backed;
+  fast, used in tests and for metadata caching.
+- :class:`~repro.core.pagestore.local.LocalFilePageStore` -- *real files*
+  laid out in the paper's multi-level directory hierarchy (Figure 4), with
+  checksums, crash recovery by directory walk, and bucketed fan-out.
+- :class:`~repro.core.pagestore.simulated.SimulatedSsdPageStore` -- payloads
+  in memory, *timing* on the virtual clock via an SSD device model, plus
+  failure injection (read hangs, corruption, ENOSPC) for the Section 8
+  failure case studies.
+"""
+
+from repro.core.pagestore.base import PageStore, StoredPage
+from repro.core.pagestore.local import LocalFilePageStore
+from repro.core.pagestore.memory import MemoryPageStore
+from repro.core.pagestore.simulated import FaultPlan, SimulatedSsdPageStore
+
+__all__ = [
+    "PageStore",
+    "StoredPage",
+    "MemoryPageStore",
+    "LocalFilePageStore",
+    "SimulatedSsdPageStore",
+    "FaultPlan",
+]

@@ -1,0 +1,156 @@
+"""Cache recovery: rebuild manager state after a process restart.
+
+Section 4.3 designed the on-disk layout for exactly this: "Top-level
+folders represent persistent global information that can be used in cache
+recovery", and "page information is self-contained in page names and
+parent folders".  Payload recovery therefore needs only a directory walk
+(:meth:`~repro.core.pagestore.local.LocalFilePageStore.recover`).
+
+What the layout alone cannot restore is *logical* metadata -- which scope
+(schema/table/partition) each file belongs to, and any TTLs.  The
+:class:`ScopeJournal` persists that as an append-only log next to the
+page store (one line per file: scope + optional TTL), mirroring how the
+production cache keeps shared file information as folders.
+
+:func:`recover_cache` ties the two together and returns a warm
+:class:`~repro.core.cache_manager.LocalCacheManager`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.cache_manager import LocalCacheManager
+from repro.core.config import CacheConfig
+from repro.core.page import PageInfo
+from repro.core.pagestore.local import LocalFilePageStore
+from repro.core.scope import CacheScope
+
+JOURNAL_NAME = "scope_journal.jsonl"
+
+
+class ScopeJournal:
+    """Append-only ``file_id -> (scope, ttl)`` journal, one JSON per line.
+
+    Appends are idempotent per (file_id, scope, ttl) state; replay keeps
+    the *last* record for each file, so scope changes and TTL updates work
+    by appending.  A missing or partially written trailing line is
+    tolerated (torn write on crash).
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.path = Path(root) / JOURNAL_NAME
+        self._last_written: dict[str, tuple[str, float | None]] = {}
+
+    def record(self, file_id: str, scope: CacheScope,
+               ttl: float | None = None) -> None:
+        """Log a file's scope (and optional TTL); skips duplicate states."""
+        state = (str(scope), ttl)
+        if self._last_written.get(file_id) == state:
+            return
+        self._last_written[file_id] = state
+        entry = {"file_id": file_id, "scope": str(scope)}
+        if ttl is not None:
+            entry["ttl"] = ttl
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry, separators=(",", ":")) + "\n")
+
+    def replay(self) -> dict[str, tuple[CacheScope, float | None]]:
+        """Load the journal: last record per file wins."""
+        state: dict[str, tuple[CacheScope, float | None]] = {}
+        if not self.path.exists():
+            return state
+        with open(self.path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                    scope = CacheScope.parse(entry["scope"])
+                except (ValueError, KeyError):
+                    continue  # torn trailing write; skip
+                state[entry["file_id"]] = (scope, entry.get("ttl"))
+        return state
+
+    def compact(self) -> int:
+        """Rewrite the journal with one record per file; returns records
+        kept."""
+        state = self.replay()
+        lines = []
+        for file_id, (scope, ttl) in sorted(state.items()):
+            entry = {"file_id": file_id, "scope": str(scope)}
+            if ttl is not None:
+                entry["ttl"] = ttl
+            lines.append(json.dumps(entry, separators=(",", ":")))
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text("\n".join(lines) + ("\n" if lines else ""),
+                             encoding="utf-8")
+        self._last_written = {
+            f: (str(s), t) for f, (s, t) in state.items()
+        }
+        return len(state)
+
+
+class JournaledCacheManager(LocalCacheManager):
+    """A cache manager that journals file scopes for recovery."""
+
+    def __init__(self, *args, journal: ScopeJournal, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.journal = journal
+
+    def put_page(self, page_id, data, *, scope=None, ttl=None,
+                 pre_admitted=False) -> bool:
+        admitted = super().put_page(
+            page_id, data, scope=scope, ttl=ttl, pre_admitted=pre_admitted
+        )
+        if admitted:
+            info = self.metastore.get(page_id)
+            if info is not None:
+                self.journal.record(page_id.file_id, info.scope, info.ttl)
+        return admitted
+
+
+def recover_cache(
+    config: CacheConfig,
+    roots: list[str | Path],
+    **manager_kwargs,
+) -> JournaledCacheManager:
+    """Build a cache manager with state recovered from disk.
+
+    Walks each root's page layout to rediscover payloads, replays the
+    scope journal to re-attribute logical metadata, and registers every
+    recovered page with the metastore and eviction policies.  Pages of
+    files with a recorded TTL are *dropped* during recovery: their original
+    admission time is not persisted, and the TTL feature exists for data
+    privacy (Section 4.1), where over-retention is the failure that
+    matters -- so when in doubt, evict.
+    """
+    if len(roots) != len(config.directories):
+        raise ValueError(
+            f"{len(roots)} roots for {len(config.directories)} directories"
+        )
+    store = LocalFilePageStore(roots, page_size=config.page_size)
+    journal = ScopeJournal(roots[0])
+    manager = JournaledCacheManager(
+        config, page_store=store, journal=journal, **manager_kwargs
+    )
+    scopes = journal.replay()
+    now = manager.clock.now()
+    for directory in range(len(roots)):
+        for page_id, size in store.recover(directory):
+            scope, ttl = scopes.get(
+                page_id.file_id, (CacheScope.global_scope(), None)
+            )
+            if ttl is not None:
+                store.delete(page_id, directory)
+                continue
+            info = PageInfo(
+                page_id=page_id, size=size, scope=scope,
+                directory=directory, created_at=now,
+            )
+            if manager.metastore.add(info):
+                manager._policies[directory].on_put(page_id)
+    return manager

@@ -1,0 +1,18 @@
+"""The distributed cache layer (Figure 6, between compute and storage).
+
+"Bridging the compute layer and the storage layer is a distributed cache
+layer, where Alluxio local cache is integrated into each cache worker node
+to serve the traffic."
+
+- :mod:`~repro.distributed.worker` -- one cache worker: a network-reachable
+  node embedding a :class:`~repro.core.cache_manager.LocalCacheManager`.
+- :mod:`~repro.distributed.client` -- the client: routes each read to a
+  worker via consistent hashing (≤ 2 replicas, Section 7), with the lazy
+  node-timeout behaviour on worker failures and remote storage as the
+  final fallback.
+"""
+
+from repro.distributed.client import DistributedCacheClient
+from repro.distributed.worker import CacheWorker
+
+__all__ = ["CacheWorker", "DistributedCacheClient"]

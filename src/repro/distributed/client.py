@@ -1,0 +1,105 @@
+"""Client-side routing for the distributed cache tier.
+
+Encodes the Section 7 lessons directly:
+
+- **consistent hashing with lazy data movement** -- workers that stop
+  responding keep their ring seats for a timeout window; if they return in
+  time their keys map straight back, avoiding churn;
+- **at most two cache replicas** per key, walking the ring for the
+  fallback candidate when the primary is offline or errors;
+- **remote storage as the final fallback** -- "in cases where both
+  replicas are unavailable ... the system defaults to retrieving data from
+  remote storage."
+"""
+
+from __future__ import annotations
+
+from repro.core.cache_manager import CacheReadResult
+from repro.core.scope import CacheScope
+from repro.distributed.worker import CacheWorker
+from repro.presto.hashring import ConsistentHashRing
+from repro.sim.clock import Clock, SimClock
+from repro.storage.remote import DataSource
+
+
+class DistributedCacheClient:
+    """Routes reads across cache workers with replica + remote fallback."""
+
+    def __init__(
+        self,
+        workers: list[CacheWorker],
+        source: DataSource,
+        *,
+        max_replicas: int = 2,
+        offline_timeout: float = 600.0,
+        clock: Clock | None = None,
+    ) -> None:
+        if not workers:
+            raise ValueError("need at least one cache worker")
+        if max_replicas <= 0:
+            raise ValueError(f"max_replicas must be positive, got {max_replicas}")
+        self.clock = clock if clock is not None else SimClock()
+        self.source = source
+        self.max_replicas = max_replicas
+        self._workers = {w.name: w for w in workers}
+        self.ring = ConsistentHashRing(offline_timeout=offline_timeout)
+        for worker in workers:
+            self.ring.add_node(worker.name)
+        self.reads = 0
+        self.remote_fallbacks = 0
+        self.failovers = 0
+
+    def worker(self, name: str) -> CacheWorker:
+        return self._workers[name]
+
+    def read(
+        self,
+        file_id: str,
+        offset: int,
+        length: int,
+        *,
+        scope: CacheScope | None = None,
+    ) -> CacheReadResult:
+        """Read through the cache tier: primary -> secondary -> remote."""
+        self.reads += 1
+        now = self.clock.now()
+        self.ring.evict_expired(now)
+        for candidate in self.ring.candidates(file_id, self.max_replicas):
+            worker = self._workers.get(candidate)
+            if worker is None:
+                continue
+            try:
+                return worker.serve_read(file_id, offset, length, scope=scope)
+            except ConnectionError:
+                # lazy data movement: keep the seat, skip for now
+                self.ring.mark_offline(candidate, now)
+                self.failovers += 1
+        # both replicas unavailable: remote storage fallback
+        self.remote_fallbacks += 1
+        remote = self.source.read(file_id, offset, length)
+        return CacheReadResult(
+            data=remote.data,
+            latency=remote.latency,
+            page_misses=1,
+            bytes_from_remote=len(remote.data),
+        )
+
+    def notify_recovered(self, name: str) -> None:
+        """A worker came back within the timeout: its keys map straight
+        back with no data movement."""
+        worker = self._workers[name]
+        worker.recover()
+        self.ring.mark_online(name)
+
+    def tier_hit_ratio(self) -> float:
+        hits = sum(
+            w.metrics.counter("get_hits").value for w in self._workers.values()
+        )
+        misses = sum(
+            w.metrics.counter("get_misses").value for w in self._workers.values()
+        )
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def cached_bytes(self) -> int:
+        return sum(w.cache.bytes_used for w in self._workers.values())

@@ -1,0 +1,222 @@
+"""Schema and layout metadata for the columnar container.
+
+Layout of a container file::
+
+    [chunk 0,0][chunk 0,1]...[chunk R,C] [footer] [footer_len u32] [magic]
+
+Each chunk is one column of one row group, encoded independently (int64
+little-endian, float64, or length-prefixed UTF-8).  The footer is a JSON
+document holding the schema, row counts, per-chunk byte ranges, and
+per-chunk min/max statistics -- the information predicate pushdown needs,
+and exactly the "file metadata / stripe metadata / column metadata" the
+Presto metadata cache stores (Section 6.1.1).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import FormatError
+
+MAGIC = b"RPQ1"
+FOOTER_LEN_BYTES = 4
+
+
+class ColumnType(enum.Enum):
+    """Supported column value types."""
+
+    INT64 = "int64"
+    FLOAT64 = "float64"
+    STRING = "string"
+
+
+@dataclass(frozen=True, slots=True)
+class Schema:
+    """Ordered column names and types."""
+
+    columns: tuple[tuple[str, ColumnType], ...]
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise ValueError("schema needs at least one column")
+        names = [name for name, __ in self.columns]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate column names in {names}")
+
+    @classmethod
+    def of(cls, **columns: str) -> "Schema":
+        """``Schema.of(user_id="int64", amount="float64")``."""
+        return cls(tuple((name, ColumnType(t)) for name, t in columns.items()))
+
+    @property
+    def column_names(self) -> list[str]:
+        return [name for name, __ in self.columns]
+
+    def column_type(self, name: str) -> ColumnType:
+        for col_name, col_type in self.columns:
+            if col_name == name:
+                return col_type
+        raise KeyError(name)
+
+    def index_of(self, name: str) -> int:
+        for index, (col_name, __) in enumerate(self.columns):
+            if col_name == name:
+                return index
+        raise KeyError(name)
+
+    def to_json(self) -> list[list[str]]:
+        return [[name, col_type.value] for name, col_type in self.columns]
+
+    @classmethod
+    def from_json(cls, data: list[list[str]]) -> "Schema":
+        return cls(tuple((name, ColumnType(t)) for name, t in data))
+
+
+@dataclass(frozen=True, slots=True)
+class ColumnChunkMeta:
+    """Byte range, statistics, and encoding of one column chunk."""
+
+    column: str
+    offset: int
+    length: int
+    min_value: float | int | str | None
+    max_value: float | int | str | None
+    encoding: str = "plain"
+
+    def to_json(self) -> dict:
+        doc = {
+            "column": self.column,
+            "offset": self.offset,
+            "length": self.length,
+            "min": self.min_value,
+            "max": self.max_value,
+        }
+        if self.encoding != "plain":
+            doc["enc"] = self.encoding
+        return doc
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ColumnChunkMeta":
+        return cls(
+            column=data["column"],
+            offset=data["offset"],
+            length=data["length"],
+            min_value=data["min"],
+            max_value=data["max"],
+            encoding=data.get("enc", "plain"),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class RowGroupMeta:
+    """One row group: row count plus its column chunks."""
+
+    row_count: int
+    chunks: tuple[ColumnChunkMeta, ...]
+
+    def chunk_for(self, column: str) -> ColumnChunkMeta:
+        for chunk in self.chunks:
+            if chunk.column == column:
+                return chunk
+        raise KeyError(column)
+
+    def to_json(self) -> dict:
+        return {
+            "row_count": self.row_count,
+            "chunks": [c.to_json() for c in self.chunks],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "RowGroupMeta":
+        return cls(
+            row_count=data["row_count"],
+            chunks=tuple(ColumnChunkMeta.from_json(c) for c in data["chunks"]),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class FileMetadata:
+    """The footer: schema + row groups (the unit the metadata cache holds)."""
+
+    schema: Schema
+    row_groups: tuple[RowGroupMeta, ...]
+    total_rows: int = field(default=0)
+
+    def to_bytes(self) -> bytes:
+        doc = {
+            "schema": self.schema.to_json(),
+            "row_groups": [g.to_json() for g in self.row_groups],
+            "total_rows": self.total_rows,
+        }
+        return json.dumps(doc, separators=(",", ":")).encode("utf-8")
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "FileMetadata":
+        try:
+            doc = json.loads(blob.decode("utf-8"))
+            return cls(
+                schema=Schema.from_json(doc["schema"]),
+                row_groups=tuple(RowGroupMeta.from_json(g) for g in doc["row_groups"]),
+                total_rows=doc["total_rows"],
+            )
+        except (ValueError, KeyError, TypeError) as exc:
+            raise FormatError(f"bad footer: {exc}") from exc
+
+
+# -- value codecs -----------------------------------------------------------
+
+
+def encode_column(values: list, column_type: ColumnType) -> bytes:
+    """Encode one column chunk."""
+    if column_type is ColumnType.INT64:
+        return b"".join(
+            int(v).to_bytes(8, "little", signed=True) for v in values
+        )
+    if column_type is ColumnType.FLOAT64:
+        import struct
+
+        return struct.pack(f"<{len(values)}d", *[float(v) for v in values])
+    # STRING: u32 length prefix per value
+    parts: list[bytes] = []
+    for v in values:
+        raw = str(v).encode("utf-8")
+        parts.append(len(raw).to_bytes(4, "little"))
+        parts.append(raw)
+    return b"".join(parts)
+
+
+def decode_column(blob: bytes, column_type: ColumnType, row_count: int) -> list:
+    """Decode one column chunk."""
+    if column_type is ColumnType.INT64:
+        if len(blob) != 8 * row_count:
+            raise FormatError(
+                f"int64 chunk holds {len(blob)} bytes, expected {8 * row_count}"
+            )
+        return [
+            int.from_bytes(blob[i * 8 : (i + 1) * 8], "little", signed=True)
+            for i in range(row_count)
+        ]
+    if column_type is ColumnType.FLOAT64:
+        import struct
+
+        if len(blob) != 8 * row_count:
+            raise FormatError(
+                f"float64 chunk holds {len(blob)} bytes, expected {8 * row_count}"
+            )
+        return list(struct.unpack(f"<{row_count}d", blob))
+    values: list[str] = []
+    position = 0
+    for __ in range(row_count):
+        if position + 4 > len(blob):
+            raise FormatError("truncated string chunk")
+        length = int.from_bytes(blob[position : position + 4], "little")
+        position += 4
+        if position + length > len(blob):
+            raise FormatError("truncated string value")
+        values.append(blob[position : position + length].decode("utf-8"))
+        position += length
+    if position != len(blob):
+        raise FormatError("trailing bytes in string chunk")
+    return values

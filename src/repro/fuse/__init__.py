@@ -1,0 +1,27 @@
+"""FUSE-style file access over the local cache (Figure 6, compute layer).
+
+"In the realm of machine learning, particularly in training phases,
+Filesystem in Userspace (FUSE) utilizes the local cache to help improve
+training performance and GPU utilization."
+
+- :mod:`~repro.fuse.filesystem` -- a POSIX-like file API (open / read /
+  seek / close, plus listing and stat) whose reads go through a
+  :class:`~repro.core.cache_manager.LocalCacheManager`.
+- :mod:`~repro.fuse.training` -- an epoch-based training-loop simulator:
+  each step fetches a batch of samples through the FUSE layer and then
+  "computes" for a fixed virtual time; GPU utilization is compute time
+  over wall time, and the cache's effect is the epoch-over-epoch
+  utilization climb.
+"""
+
+from repro.fuse.filesystem import CachedFileSystem, FileHandle, FileStat
+from repro.fuse.training import EpochStats, TrainingLoop, TrainingConfig
+
+__all__ = [
+    "CachedFileSystem",
+    "FileHandle",
+    "FileStat",
+    "TrainingLoop",
+    "TrainingConfig",
+    "EpochStats",
+]

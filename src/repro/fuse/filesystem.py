@@ -1,0 +1,155 @@
+"""A POSIX-like file interface over the local cache.
+
+The real deployment mounts Alluxio through libfuse; training jobs read
+dataset files with ordinary ``open``/``read`` calls and the local cache
+absorbs the re-reads across epochs.  This module reproduces that surface:
+file handles with positions, ``read``/``pread``/``seek``, directory
+listing, and stat -- all backed by a
+:class:`~repro.core.cache_manager.LocalCacheManager` over a
+:class:`~repro.storage.remote.DataSource`.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.core.cache_manager import CacheReadResult, LocalCacheManager
+from repro.core.scope import CacheScope
+from repro.errors import FileNotFoundInStorageError
+from repro.storage.remote import DataSource
+
+
+@dataclass(frozen=True, slots=True)
+class FileStat:
+    """Stat result for one file."""
+
+    path: str
+    size: int
+
+
+class FileHandle:
+    """An open file with a position; reads go through the cache.
+
+    Handles accumulate the modelled latency of their reads in
+    :attr:`total_latency`, which the training simulator uses as virtual
+    I/O time.
+    """
+
+    def __init__(
+        self,
+        filesystem: "CachedFileSystem",
+        path: str,
+        size: int,
+    ) -> None:
+        self._fs = filesystem
+        self.path = path
+        self.size = size
+        self.position = 0
+        self.closed = False
+        self.total_latency = 0.0
+        self.bytes_read = 0
+
+    def read(self, length: int = -1) -> bytes:
+        """Read from the current position (whole remainder when -1)."""
+        if length < 0:
+            length = self.size - self.position
+        data = self.pread(self.position, length)
+        self.position += len(data)
+        return data
+
+    def pread(self, offset: int, length: int) -> bytes:
+        """Positional read; does not move the handle's position."""
+        if self.closed:
+            raise ValueError(f"I/O operation on closed file {self.path!r}")
+        result = self._fs._read(self.path, offset, length)
+        self.total_latency += result.latency
+        self.bytes_read += len(result.data)
+        return result.data
+
+    def seek(self, offset: int, whence: int = os.SEEK_SET) -> int:
+        if self.closed:
+            raise ValueError(f"I/O operation on closed file {self.path!r}")
+        if whence == os.SEEK_SET:
+            target = offset
+        elif whence == os.SEEK_CUR:
+            target = self.position + offset
+        elif whence == os.SEEK_END:
+            target = self.size + offset
+        else:
+            raise ValueError(f"invalid whence {whence}")
+        if target < 0:
+            raise ValueError(f"negative seek position {target}")
+        self.position = target
+        return self.position
+
+    def tell(self) -> int:
+        return self.position
+
+    def close(self) -> None:
+        self.closed = True
+
+    def __enter__(self) -> "FileHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class CachedFileSystem:
+    """The FUSE-like mount: path namespace + cache-backed reads."""
+
+    def __init__(
+        self,
+        cache: LocalCacheManager,
+        source: DataSource,
+        *,
+        scope_fn=None,
+    ) -> None:
+        """``scope_fn(path) -> CacheScope`` optionally tags reads (defaults
+        to the global scope)."""
+        self.cache = cache
+        self.source = source
+        self._scope_fn = scope_fn
+        self.total_latency = 0.0
+
+    def _scope(self, path: str) -> CacheScope | None:
+        return self._scope_fn(path) if self._scope_fn is not None else None
+
+    def _read(self, path: str, offset: int, length: int) -> CacheReadResult:
+        result = self.cache.read(
+            path, offset, length, self.source, scope=self._scope(path)
+        )
+        self.total_latency += result.latency
+        return result
+
+    # -- POSIX-ish surface ---------------------------------------------------
+
+    def open(self, path: str) -> FileHandle:
+        return FileHandle(self, path, self.stat(path).size)
+
+    def stat(self, path: str) -> FileStat:
+        return FileStat(path=path, size=self.source.file_length(path))
+
+    def exists(self, path: str) -> bool:
+        try:
+            self.source.file_length(path)
+            return True
+        except FileNotFoundInStorageError:
+            return False
+
+    def listdir(self, prefix: str) -> list[str]:
+        """Paths under ``prefix`` (sources expose their namespace as flat
+        ids; this filters by path prefix like an object-store listing)."""
+        file_ids = getattr(self.source, "file_ids", None)
+        if file_ids is None:
+            raise NotImplementedError(
+                f"{type(self.source).__name__} does not support listing"
+            )
+        prefix = prefix.rstrip("/") + "/" if prefix else ""
+        return [f for f in file_ids() if f.startswith(prefix)]
+
+    def read_file(self, path: str) -> bytes:
+        """Convenience: whole-file read."""
+        with self.open(path) as handle:
+            return handle.read()

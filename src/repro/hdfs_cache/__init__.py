@@ -1,0 +1,25 @@
+"""The HDFS local cache (Section 6.2): Alluxio local cache in a DataNode.
+
+:class:`~repro.hdfs_cache.cached_datanode.CachedDataNode` wraps a
+:class:`~repro.storage.hdfs.datanode.DataNode` with:
+
+- a :class:`~repro.core.cache_manager.LocalCacheManager` over a simulated
+  local SSD (hot blocks move from the bandwidth-starved HDD to the SSD),
+- the :class:`~repro.core.admission.rate_limiter.BucketTimeRateLimit`
+  cache rate limiter (admit a block after X accesses in Y minutes),
+- block+meta *pair* caching under a ``(blockId, generationStamp)`` cache
+  key for snapshot isolation across appends,
+- the in-memory ``<blockId -> (cacheId, fileLength)>`` mapping used to
+  purge cache entries on block deletion, rebuilt from scratch (by wiping
+  the cache) on DataNode restart.
+"""
+
+from repro.hdfs_cache.block_mapping import BlockMapping, MappingEntry
+from repro.hdfs_cache.cached_datanode import CachedDataNode, CachedReadResult
+
+__all__ = [
+    "CachedDataNode",
+    "CachedReadResult",
+    "BlockMapping",
+    "MappingEntry",
+]

@@ -1,0 +1,262 @@
+"""A DataNode wrapped with the Alluxio local cache (Figure 11).
+
+Read workflow for a block request:
+
+1. If the block's current version is cached (SSD), serve it from the cache
+   -- both the block bytes and its checksum meta travel together (the
+   all-or-nothing rule).
+2. Otherwise the **cache rate limiter** records the access; a block that
+   has been accessed more than X times in the past Y minutes is deemed
+   cache-worthy, loaded into the cache (one full HDD read + SSD write), and
+   served.
+3. Anything else takes the non-cache read path straight to the HDD, whose
+   single channel is where blocked processes pile up.
+
+Snapshot isolation across appends comes from the cache key
+``blk_<id>@gs<stamp>``: an in-flight append creates a *new* generation, so
+readers of the old stamp keep hitting the old cache entry, and the new
+version becomes a distinct entry on first admission (Section 6.2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.admission.rate_limiter import BucketTimeRateLimit
+from repro.core.cache_manager import LocalCacheManager
+from repro.core.config import CacheConfig, CacheDirectory, GIB
+from repro.core.pagestore.simulated import SimulatedSsdPageStore
+from repro.errors import BlockNotFoundError
+from repro.hdfs_cache.block_mapping import BlockMapping
+from repro.sim.clock import Clock
+from repro.storage.device import DeviceProfile, StorageDevice
+from repro.storage.hdfs.block import BlockId
+from repro.storage.hdfs.datanode import DataNode
+from repro.storage.remote import ReadResult
+
+
+@dataclass(frozen=True, slots=True)
+class CachedReadResult:
+    """One block read and where its bytes came from."""
+
+    data: bytes
+    latency: float
+    from_cache: bool
+
+
+@dataclass(slots=True)
+class TrafficSample:
+    """One data point for the cache-vs-non-cache rate series (Figure 13)."""
+
+    timestamp: float
+    bytes_read: int
+    from_cache: bool
+
+
+class _DataNodeSource:
+    """Adapts the underlying DataNode's HDD to the cache's ``DataSource``
+    interface, keyed by the versioned cache id."""
+
+    def __init__(self, owner: "CachedDataNode") -> None:
+        self._owner = owner
+
+    def file_length(self, file_id: str) -> int:
+        identity = self._owner._identity_of(file_id)
+        return self._owner.datanode.block_length(identity) + self._owner._meta_size(
+            identity
+        )
+
+    def read(self, file_id: str, offset: int, length: int) -> ReadResult:
+        identity = self._owner._identity_of(file_id)
+        return self._owner._read_block_and_meta(identity, offset, length)
+
+
+class CachedDataNode:
+    """DataNode + embedded local cache + BucketTimeRateLimit admission."""
+
+    def __init__(
+        self,
+        datanode: DataNode,
+        *,
+        clock: Clock,
+        cache_capacity_bytes: int = 2 * GIB,
+        page_size: int = 1024 * 1024,
+        rate_limiter: BucketTimeRateLimit | None = None,
+        ssd_profile: DeviceProfile | None = None,
+    ) -> None:
+        self.datanode = datanode
+        self.clock = clock
+        self.rate_limiter = (
+            rate_limiter
+            if rate_limiter is not None
+            else BucketTimeRateLimit(threshold=15, window_buckets=10)
+        )
+        self.ssd = StorageDevice(
+            ssd_profile if ssd_profile is not None else DeviceProfile.ssd_local(),
+            clock,
+        )
+        config = CacheConfig(
+            page_size=page_size,
+            directories=[CacheDirectory(f"/{datanode.name}/ssd0", cache_capacity_bytes)],
+        )
+        self.cache = LocalCacheManager(
+            config,
+            clock=clock,
+            page_store=SimulatedSsdPageStore(self.ssd),
+        )
+        self.mapping = BlockMapping()
+        self._source = _DataNodeSource(self)
+        self._identities: dict[str, BlockId] = {}
+        self.enabled = True
+        self.traffic: list[TrafficSample] = []
+
+    # -- identity plumbing ----------------------------------------------------
+
+    def _register(self, identity: BlockId) -> str:
+        key = identity.cache_key()
+        self._identities[key] = identity
+        return key
+
+    def _identity_of(self, cache_id: str) -> BlockId:
+        try:
+            return self._identities[cache_id]
+        except KeyError:
+            raise BlockNotFoundError(cache_id) from None
+
+    def _meta_size(self, identity: BlockId) -> int:
+        block = self.datanode._get(identity)
+        return block.meta.size_bytes
+
+    def _read_block_and_meta(
+        self, identity: BlockId, offset: int, length: int
+    ) -> ReadResult:
+        """Serve the concatenated (block || meta) image off the HDD.
+
+        Caching the pair as one image keeps the block file and its checksum
+        meta file inseparable, the paper's reliability rule.
+        """
+        block = self.datanode._get(identity)
+        meta_blob = b"META" + bytes(
+            b
+            for checksum in block.meta.checksums
+            for b in checksum.to_bytes(4, "big")
+        )
+        meta_blob = meta_blob[: block.meta.size_bytes].ljust(block.meta.size_bytes, b"\0")
+        image = block.data + meta_blob
+        data = image[offset : offset + length]
+        latency = self.datanode.device.read(len(data))
+        return ReadResult(data=data, latency=latency)
+
+    # -- the read path -------------------------------------------------------------
+
+    def read_block(
+        self, identity: BlockId, offset: int = 0, length: int | None = None
+    ) -> CachedReadResult:
+        """Read a block range through the Figure-11 workflow."""
+        if length is None:
+            length = self.datanode.block_length(identity) - offset
+        if not self.enabled:
+            return self._non_cache_read(identity, offset, length)
+
+        key = self._register(identity)
+        now = self.clock.now()
+        cached = self.mapping.lookup(identity.block_id)
+        if cached is not None and cached.cache_id == key:
+            return self._cache_read(identity, key, offset, length)
+        if cached is not None and cached.cache_id != key:
+            # A newer generation superseded the cached one: drop the stale
+            # entry; the new version competes for admission like any block.
+            self._purge_cache_entry(identity.block_id)
+
+        if self.rate_limiter.record_and_check(str(identity.block_id), now):
+            self._load_into_cache(identity, key)
+            return self._cache_read(identity, key, offset, length)
+        return self._non_cache_read(identity, offset, length)
+
+    def _cache_read(
+        self, identity: BlockId, key: str, offset: int, length: int
+    ) -> CachedReadResult:
+        result = self.cache.read(key, offset, length, self._source)
+        now = self.clock.now()
+        # bytes are attributed to their true origin: pages the cache had to
+        # read through from the HDD count as non-cache traffic (this is the
+        # split Figure 13 plots)
+        if result.bytes_from_cache:
+            self.traffic.append(
+                TrafficSample(now, result.bytes_from_cache, from_cache=True)
+            )
+        if result.bytes_from_remote:
+            self.traffic.append(
+                TrafficSample(now, result.bytes_from_remote, from_cache=False)
+            )
+        return CachedReadResult(
+            data=result.data, latency=result.latency, from_cache=True
+        )
+
+    def _non_cache_read(
+        self, identity: BlockId, offset: int, length: int
+    ) -> CachedReadResult:
+        result = self.datanode.read_block(identity, offset, length)
+        self.traffic.append(
+            TrafficSample(self.clock.now(), len(result.data), from_cache=False)
+        )
+        return CachedReadResult(
+            data=result.data, latency=result.latency, from_cache=False
+        )
+
+    def _load_into_cache(self, identity: BlockId, key: str) -> None:
+        """Admit the whole (block || meta) image into the SSD cache."""
+        total = self._source.file_length(key)
+        self.cache.read(key, 0, total, self._source)
+        self.mapping.record(identity.block_id, key, total)
+
+    # -- mutations the cache must track ----------------------------------------------
+
+    def on_block_deleted(self, block_id: int) -> bool:
+        """Purge the cached copy when HDFS deletes the block (the in-memory
+        mapping makes this immediate rather than waiting for a TTL sweep)."""
+        return self._purge_cache_entry(block_id)
+
+    def _purge_cache_entry(self, block_id: int) -> bool:
+        entry = self.mapping.remove(block_id)
+        if entry is None:
+            return False
+        self.cache.delete_file(entry.cache_id)
+        return True
+
+    def restart(self) -> None:
+        """Process restart: the in-memory mapping is lost, so the DataNode
+        clears all local cached contents and rebuilds from the ground up
+        (the paper's "viable compromise")."""
+        self.datanode.restart()
+        self.mapping.clear()
+        for directory in range(len(self.cache.config.directories)):
+            self.cache.delete_dir(directory)
+        self._identities.clear()
+
+    def set_enabled(self, enabled: bool) -> None:
+        """Toggle the cache (Figure 14 disables it mid-experiment)."""
+        self.enabled = enabled
+
+    # -- reporting --------------------------------------------------------------------
+
+    def traffic_rates(
+        self, bucket_seconds: float = 60.0
+    ) -> tuple[dict[int, int], dict[int, int]]:
+        """Per-bucket byte counts: ``(cache_bytes, non_cache_bytes)``
+        -- the two series of Figure 13."""
+        cache_series: dict[int, int] = {}
+        other_series: dict[int, int] = {}
+        for sample in self.traffic:
+            bucket = int(sample.timestamp // bucket_seconds)
+            series = cache_series if sample.from_cache else other_series
+            series[bucket] = series.get(bucket, 0) + sample.bytes_read
+        return cache_series, other_series
+
+    @property
+    def cache_hit_bytes(self) -> int:
+        return sum(s.bytes_read for s in self.traffic if s.from_cache)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(s.bytes_read for s in self.traffic)

@@ -1,0 +1,22 @@
+"""A small log-structured key-value store (the RocksDB stand-in).
+
+Section 6.1.1: cached file metadata "can be stored in memory, files, or
+persistent key-value stores like RocksDB.  In enterprise-grade production
+environments, data is usually cached in files and metadata in memory or
+RocksDB."  RocksDB itself is out of scope (and off-line), so this package
+provides the closest structural equivalent, built from scratch:
+
+- :class:`~repro.kv.lsm.LsmKvStore` -- an LSM tree: in-memory memtable,
+  write-ahead log for durability, sorted immutable SSTable files flushed
+  from the memtable, newest-first reads with tombstone deletes, and a
+  compaction pass that merges SSTables and drops shadowed/deleted entries.
+- :class:`~repro.kv.lsm.MemoryKvStore` -- the dict-backed reference
+  implementation behind the same interface.
+
+:class:`~repro.presto.metadata_cache.MetadataCache` accepts either as a
+persistent backing tier.
+"""
+
+from repro.kv.lsm import KvStore, LsmKvStore, MemoryKvStore
+
+__all__ = ["KvStore", "LsmKvStore", "MemoryKvStore"]

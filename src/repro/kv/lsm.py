@@ -1,0 +1,285 @@
+"""An LSM-tree key-value store with WAL, SSTables, and compaction.
+
+On-disk layout under the store's root directory::
+
+    wal.log            append-only write-ahead log of the live memtable
+    sstable-000001.sst oldest flushed table
+    sstable-000002.sst ...newer tables shadow older ones
+
+Record format (both WAL and SSTable) is line-oriented JSON:
+``{"k": <key>, "v": <value-or-null>}`` -- ``null`` is a tombstone.
+SSTables store their records sorted by key (binary-searchable when loaded)
+and are immutable once written.
+
+Semantics:
+
+- writes go to the memtable and the WAL; when the memtable exceeds
+  ``memtable_limit`` entries it is flushed to a new SSTable and the WAL is
+  truncated;
+- reads check the memtable first, then SSTables newest-first;
+- deletes write tombstones (so a delete shadows older SSTable entries);
+- :meth:`LsmKvStore.compact` merges every SSTable plus the memtable into
+  one table, dropping tombstones and shadowed versions;
+- reopening a store replays the WAL, recovering un-flushed writes.
+
+Values must be JSON-serializable; keys are strings.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+from pathlib import Path
+from typing import Any, Iterator, Protocol, runtime_checkable
+
+_WAL_NAME = "wal.log"
+_SSTABLE_PREFIX = "sstable-"
+_SSTABLE_SUFFIX = ".sst"
+_TOMBSTONE = None
+
+
+@runtime_checkable
+class KvStore(Protocol):
+    """Minimal KV interface shared by the memory and LSM stores."""
+
+    def get(self, key: str, default: Any = None) -> Any:
+        ...
+
+    def put(self, key: str, value: Any) -> None:
+        ...
+
+    def delete(self, key: str) -> bool:
+        ...
+
+    def __contains__(self, key: str) -> bool:
+        ...
+
+    def __len__(self) -> int:
+        ...
+
+
+class MemoryKvStore:
+    """Dict-backed reference implementation."""
+
+    def __init__(self) -> None:
+        self._data: dict[str, Any] = {}
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._data.get(key, default)
+
+    def put(self, key: str, value: Any) -> None:
+        self._data[key] = value
+
+    def delete(self, key: str) -> bool:
+        return self._data.pop(key, _SENTINEL) is not _SENTINEL
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def keys(self) -> list[str]:
+        return sorted(self._data)
+
+
+class _Sentinel:
+    pass
+
+
+_SENTINEL = _Sentinel()
+
+
+class _SsTable:
+    """One immutable sorted table, lazily loaded."""
+
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        self._keys: list[str] | None = None
+        self._values: list[Any] | None = None
+
+    def _load(self) -> None:
+        if self._keys is not None:
+            return
+        keys: list[str] = []
+        values: list[Any] = []
+        with open(self.path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                keys.append(record["k"])
+                values.append(record["v"])
+        self._keys = keys
+        self._values = values
+
+    def lookup(self, key: str) -> tuple[bool, Any]:
+        """``(found, value)``; value may be the tombstone ``None``."""
+        self._load()
+        assert self._keys is not None and self._values is not None
+        index = bisect.bisect_left(self._keys, key)
+        if index < len(self._keys) and self._keys[index] == key:
+            return True, self._values[index]
+        return False, None
+
+    def items(self) -> Iterator[tuple[str, Any]]:
+        self._load()
+        assert self._keys is not None and self._values is not None
+        return iter(zip(self._keys, self._values))
+
+    def __len__(self) -> int:
+        self._load()
+        assert self._keys is not None
+        return len(self._keys)
+
+
+class LsmKvStore:
+    """The LSM store.  See the module docstring for the design."""
+
+    def __init__(self, root: str | Path, *, memtable_limit: int = 1024) -> None:
+        if memtable_limit <= 0:
+            raise ValueError(f"memtable_limit must be positive, got {memtable_limit}")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.memtable_limit = memtable_limit
+        self._memtable: dict[str, Any] = {}
+        self._sstables: list[_SsTable] = [
+            _SsTable(p) for p in sorted(self.root.glob(f"{_SSTABLE_PREFIX}*{_SSTABLE_SUFFIX}"))
+        ]
+        self._next_table_number = self._infer_next_number()
+        self._wal_path = self.root / _WAL_NAME
+        self._replay_wal()
+        self._wal = open(self._wal_path, "a", encoding="utf-8")
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def _infer_next_number(self) -> int:
+        numbers = []
+        for table in self._sstables:
+            stem = table.path.name[len(_SSTABLE_PREFIX):-len(_SSTABLE_SUFFIX)]
+            try:
+                numbers.append(int(stem))
+            except ValueError:
+                continue
+        return max(numbers, default=0) + 1
+
+    def _replay_wal(self) -> None:
+        if not self._wal_path.exists():
+            return
+        with open(self._wal_path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    break  # torn trailing write: everything before is safe
+                self._memtable[record["k"]] = record["v"]
+
+    def close(self) -> None:
+        self._wal.close()
+
+    def __enter__(self) -> "LsmKvStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- KV interface ------------------------------------------------------------
+
+    def put(self, key: str, value: Any) -> None:
+        if value is _TOMBSTONE:
+            raise ValueError("None is reserved as the tombstone; use delete()")
+        self._append_wal(key, value)
+        self._memtable[key] = value
+        if len(self._memtable) >= self.memtable_limit:
+            self.flush()
+
+    def delete(self, key: str) -> bool:
+        existed = key in self
+        self._append_wal(key, _TOMBSTONE)
+        self._memtable[key] = _TOMBSTONE
+        if len(self._memtable) >= self.memtable_limit:
+            self.flush()
+        return existed
+
+    def get(self, key: str, default: Any = None) -> Any:
+        if key in self._memtable:
+            value = self._memtable[key]
+            return default if value is _TOMBSTONE else value
+        for table in reversed(self._sstables):  # newest shadows oldest
+            found, value = table.lookup(key)
+            if found:
+                return default if value is _TOMBSTONE else value
+        return default
+
+    def __contains__(self, key: str) -> bool:
+        marker = object()
+        return self.get(key, marker) is not marker
+
+    def __len__(self) -> int:
+        return sum(1 for __ in self.items())
+
+    def items(self) -> Iterator[tuple[str, Any]]:
+        """Live (key, value) pairs, newest version wins, sorted by key."""
+        merged: dict[str, Any] = {}
+        for table in self._sstables:  # oldest first; later writes overwrite
+            for key, value in table.items():
+                merged[key] = value
+        merged.update(self._memtable)
+        for key in sorted(merged):
+            if merged[key] is not _TOMBSTONE:
+                yield key, merged[key]
+
+    def keys(self) -> list[str]:
+        return [key for key, __ in self.items()]
+
+    # -- persistence ---------------------------------------------------------------
+
+    def _append_wal(self, key: str, value: Any) -> None:
+        self._wal.write(json.dumps({"k": key, "v": value},
+                                   separators=(",", ":")) + "\n")
+        self._wal.flush()
+
+    def flush(self) -> Path | None:
+        """Flush the memtable into a new SSTable; truncates the WAL."""
+        if not self._memtable:
+            return None
+        path = self.root / (
+            f"{_SSTABLE_PREFIX}{self._next_table_number:06d}{_SSTABLE_SUFFIX}"
+        )
+        self._next_table_number += 1
+        with open(path, "w", encoding="utf-8") as handle:
+            for key in sorted(self._memtable):
+                handle.write(
+                    json.dumps({"k": key, "v": self._memtable[key]},
+                               separators=(",", ":")) + "\n"
+                )
+        self._sstables.append(_SsTable(path))
+        self._memtable = {}
+        self._wal.close()
+        self._wal_path.write_text("", encoding="utf-8")
+        self._wal = open(self._wal_path, "a", encoding="utf-8")
+        return path
+
+    def compact(self) -> int:
+        """Merge all state into one SSTable, dropping tombstones and
+        shadowed versions; returns live entries kept."""
+        live = dict(self.items())
+        for table in self._sstables:
+            table.path.unlink()
+        self._sstables = []
+        self._memtable = dict(live)
+        flushed = self.flush()
+        if flushed is None:
+            # nothing live: make sure the WAL is clean too
+            self._wal.close()
+            self._wal_path.write_text("", encoding="utf-8")
+            self._wal = open(self._wal_path, "a", encoding="utf-8")
+        return len(live)
+
+    @property
+    def sstable_count(self) -> int:
+        return len(self._sstables)

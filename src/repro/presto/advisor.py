@@ -1,0 +1,128 @@
+"""Cache-onboarding advisor: suggest filter rules from observed traffic.
+
+In production "the filtering rules are set by platform owners and
+infrequently updated" (Section 5.1).  Owners decide from exactly the
+table-level insights the metrics system aggregates (Section 6.1.3): which
+tables are hot, how concentrated their partition access is, and how much
+of their traffic would be served by a cache.  This module turns a
+:class:`~repro.presto.runtime_stats.RuntimeStatsAggregator` into concrete
+JSON filter rules consumable by
+:class:`~repro.core.admission.filters.CacheFilter.from_json`.
+
+Heuristics (each trivially tunable):
+
+- onboard a table when it appears in at least ``min_queries`` queries and
+  its scanned volume is at least ``min_bytes``;
+- cap ``maxCachedPartitions`` at roughly the partition working set: the
+  number of distinct partitions covering ``partition_coverage`` of the
+  table's accesses (hot tables with severe partition skew get small caps);
+- deny-list tables whose traffic is pure scan-once (no repeated partition
+  within the observation window).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.presto.runtime_stats import RuntimeStatsAggregator, TableInsight
+
+
+@dataclass(frozen=True, slots=True)
+class Recommendation:
+    """One table's onboarding decision and the reasoning behind it."""
+
+    table: str
+    admit: bool
+    max_cached_partitions: int | None
+    reason: str
+
+    def to_rule(self) -> dict:
+        """The JSON filter rule (Section 5.1 format)."""
+        rule: dict = {"table": self.table}
+        if not self.admit:
+            rule["admit"] = False
+        elif self.max_cached_partitions is not None:
+            rule["maxCachedPartitions"] = self.max_cached_partitions
+        return rule
+
+
+def _partition_working_set(insight: TableInsight, coverage: float) -> int:
+    """Distinct partitions covering ``coverage`` of the table's accesses."""
+    counts = sorted(insight.partition_access_counts.values(), reverse=True)
+    total = sum(counts)
+    if total == 0:
+        return 0
+    running = 0
+    for index, count in enumerate(counts, start=1):
+        running += count
+        if running / total >= coverage:
+            return index
+    return len(counts)
+
+
+def recommend(
+    aggregator: RuntimeStatsAggregator,
+    *,
+    min_queries: int = 5,
+    min_bytes: int = 0,
+    partition_coverage: float = 0.95,
+) -> list[Recommendation]:
+    """Onboarding recommendations for every observed table, hottest first."""
+    if not 0 < partition_coverage <= 1:
+        raise ValueError(
+            f"partition_coverage must be in (0, 1], got {partition_coverage}"
+        )
+    recommendations: list[Recommendation] = []
+    for table in aggregator.tables():
+        insight = aggregator.table_insight(table)
+        volume = insight.bytes_from_cache + insight.bytes_from_remote
+        if insight.queries < min_queries or volume < min_bytes:
+            recommendations.append(
+                Recommendation(
+                    table=table, admit=False, max_cached_partitions=None,
+                    reason=(
+                        f"cold: {insight.queries} queries, {volume} bytes "
+                        f"(thresholds: {min_queries} queries, {min_bytes} bytes)"
+                    ),
+                )
+            )
+            continue
+        counts = insight.partition_access_counts
+        repeated = any(count > 1 for count in counts.values())
+        if counts and not repeated:
+            recommendations.append(
+                Recommendation(
+                    table=table, admit=False, max_cached_partitions=None,
+                    reason="scan-once traffic: no partition accessed twice",
+                )
+            )
+            continue
+        working_set = _partition_working_set(insight, partition_coverage)
+        recommendations.append(
+            Recommendation(
+                table=table,
+                admit=True,
+                max_cached_partitions=max(working_set, 1) if counts else None,
+                reason=(
+                    f"hot: {insight.queries} queries, {volume} bytes; "
+                    f"{working_set} partitions cover "
+                    f"{partition_coverage:.0%} of accesses"
+                ),
+            )
+        )
+    recommendations.sort(
+        key=lambda r: (
+            not r.admit,
+            -(
+                aggregator.table_insight(r.table).bytes_from_cache
+                + aggregator.table_insight(r.table).bytes_from_remote
+            ),
+        )
+    )
+    return recommendations
+
+
+def to_filter_rules(recommendations: list[Recommendation]) -> list[dict]:
+    """The JSON rule list: admits first (deny rules keep their place after
+    admits, which preserves first-match-wins semantics)."""
+    return [r.to_rule() for r in recommendations]

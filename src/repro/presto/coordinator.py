@@ -1,0 +1,275 @@
+"""The coordinator: query planning, split distribution, result accounting.
+
+"A central coordinator node takes charge of parsing queries, formulating
+query plans, and distributing tasks to worker nodes" (Section 2.1.1).  The
+simulator's unit of work is a :class:`~repro.workload.tpcds.QueryProfile`
+(which tables/partitions are scanned, how selectively, and how much compute
+follows the scan); the coordinator plans it into splits, schedules them
+through a pluggable scheduler, and reports per-query runtime stats.
+
+Execution timing model: workers process their assigned splits serially and
+run in parallel with each other, so a query's scan wall time is the maximum
+per-worker busy time for that query; downstream compute (joins,
+aggregations) is charged on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.admission.base import AdmissionPolicy
+from repro.presto.catalog import Catalog
+from repro.presto.hashring import ConsistentHashRing
+from repro.presto.operators import ScanProfile
+from repro.presto.runtime_stats import QueryRuntimeStats, RuntimeStatsAggregator
+from repro.presto.scheduler import RandomScheduler, SoftAffinityScheduler
+from repro.presto.split import Split, splits_for_file
+from repro.presto.worker import Worker
+from repro.sim.clock import SimClock
+from repro.sim.rng import RngStream
+from repro.presto.query import QueryProfile
+from repro.storage.remote import DataSource
+
+
+@dataclass(slots=True)
+class QueryResult:
+    """Outcome of one query execution."""
+
+    query_id: str
+    wall_seconds: float
+    stats: QueryRuntimeStats
+
+
+@dataclass(slots=True)
+class PrestoCluster:
+    """A coordinator plus its workers, ring, and scheduler.
+
+    Build with :meth:`create`, then run queries through
+    :attr:`coordinator`.
+    """
+
+    coordinator: "Coordinator"
+    workers: dict[str, Worker]
+    ring: ConsistentHashRing
+
+    @classmethod
+    def create(
+        cls,
+        catalog: Catalog,
+        source: DataSource,
+        *,
+        n_workers: int = 4,
+        cache_capacity_bytes: int = 512 * 1024 * 1024,
+        page_size: int = 1024 * 1024,
+        scheduler: str = "soft_affinity",
+        max_replicas: int = 2,
+        max_splits_per_node: int = 10_000,
+        probe_latency: float = 0.0,
+        cache_enabled: bool = True,
+        metadata_cache_enabled: bool = True,
+        admission_factory=None,
+        target_split_size: int = 64 * 1024 * 1024,
+        clock: SimClock | None = None,
+        seed: int = 0,
+    ) -> "PrestoCluster":
+        clock = clock if clock is not None else SimClock()
+        workers: dict[str, Worker] = {}
+        ring = ConsistentHashRing()
+        for index in range(n_workers):
+            name = f"worker-{index}"
+            admission: AdmissionPolicy | None = (
+                admission_factory() if admission_factory is not None else None
+            )
+            workers[name] = Worker(
+                name,
+                source,
+                cache_capacity_bytes=cache_capacity_bytes,
+                page_size=page_size,
+                clock=clock,
+                admission=admission,
+                cache_enabled=cache_enabled,
+                metadata_cache_enabled=metadata_cache_enabled,
+            )
+            ring.add_node(name)
+        if scheduler == "soft_affinity":
+            sched = SoftAffinityScheduler(
+                ring,
+                max_replicas=max_replicas,
+                max_splits_per_node=max_splits_per_node,
+                probe_latency=probe_latency,
+            )
+        elif scheduler == "random":
+            sched = RandomScheduler(RngStream(seed, "scheduler/random"))
+        else:
+            raise ValueError(
+                f"unknown scheduler {scheduler!r}; choose soft_affinity or random"
+            )
+        coordinator = Coordinator(
+            catalog, workers, sched, target_split_size=target_split_size
+        )
+        return cls(coordinator=coordinator, workers=workers, ring=ring)
+
+
+class Coordinator:
+    """Plans queries into splits and drives worker execution."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        workers: dict[str, Worker],
+        scheduler,
+        *,
+        target_split_size: int = 64 * 1024 * 1024,
+    ) -> None:
+        if not workers:
+            raise ValueError("a cluster needs at least one worker")
+        self.catalog = catalog
+        self.workers = dict(workers)
+        self.scheduler = scheduler
+        self.target_split_size = target_split_size
+        self.aggregator = RuntimeStatsAggregator()
+
+    # -- planning ------------------------------------------------------------
+
+    def plan(self, query: QueryProfile) -> list[tuple[Split, ScanProfile]]:
+        """Expand each table scan into per-file splits."""
+        planned: list[tuple[Split, ScanProfile]] = []
+        for scan in query.scans:
+            table = self.catalog.table(scan.table)
+            partitions = scan.resolve_partitions(table)
+            for partition_name in partitions:
+                partition = table.partitions[partition_name]
+                for data_file in partition.files:
+                    for split in splits_for_file(
+                        data_file,
+                        schema=table.schema,
+                        table=table.name,
+                        partition=partition_name,
+                        target_split_size=self.target_split_size,
+                    ):
+                        planned.append((split, scan.profile))
+        return planned
+
+    # -- execution ---------------------------------------------------------------
+
+    def run_query(self, query: QueryProfile) -> QueryResult:
+        """Plan, schedule, and execute one query; record its stats."""
+        stats = QueryRuntimeStats(query_id=query.query_id)
+        stats.tables = [scan.table for scan in query.scans]
+        planned = self.plan(query)
+        stats.splits = len(planned)
+        partitions_touched: set[str] = set()
+
+        load = {name: 0 for name in self.workers}
+        per_worker_busy = {name: 0.0 for name in self.workers}
+        probe_latency = getattr(self.scheduler, "probe_latency", 0.0)
+        scheduling_wall = 0.0
+        for split, profile in planned:
+            decision = self.scheduler.assign(split, load)
+            scheduling_wall += max(decision.probes - 1, 0) * probe_latency
+            load[decision.worker] += 1
+            if decision.affinity:
+                stats.affinity_hits += 1
+            if decision.bypass_cache:
+                stats.cache_bypassed_splits += 1
+            worker = self.workers[decision.worker]
+            result = worker.execute_split(
+                split, profile, stats, bypass_cache=decision.bypass_cache
+            )
+            per_worker_busy[decision.worker] += result.input_wall + result.cpu_time
+            partitions_touched.add(f"{split.qualified_table}/{split.partition}")
+
+        stats.partitions = sorted(partitions_touched)
+        scan_wall = max(per_worker_busy.values()) if per_worker_busy else 0.0
+        wall = scan_wall + query.compute_seconds + scheduling_wall
+        stats.input_wall += scheduling_wall
+        stats.total_wall = wall
+        self.aggregator.record(stats)
+        return QueryResult(query_id=query.query_id, wall_seconds=wall, stats=stats)
+
+    def run_queries(self, queries: list[QueryProfile]) -> list[QueryResult]:
+        return [self.run_query(q) for q in queries]
+
+    def run_concurrent(
+        self, arrivals: list[tuple[float, QueryProfile]]
+    ) -> list[QueryResult]:
+        """Execute queries that overlap in time, with cross-query queueing.
+
+        Production clusters run hundreds of queries at once; a worker busy
+        with one query's splits delays the next query's.  The model: each
+        worker serves its split queue serially in virtual time, so a split
+        starts at ``max(query_arrival, worker_free_at)``; a query finishes
+        when its last split completes plus its downstream compute.
+        Scheduling decisions see the *current backlog* (splits assigned but
+        not yet finished at the query's arrival), so soft-affinity's busy
+        fallback engages exactly when the paper says it should: under hot-
+        spot pressure.
+
+        Args:
+            arrivals: ``(arrival_time, query)`` pairs; processed in time
+                order.
+
+        Returns per-query results whose ``wall_seconds`` is the full
+        arrival-to-completion latency (queueing included).
+        """
+        probe_latency = getattr(self.scheduler, "probe_latency", 0.0)
+        worker_free_at = {name: 0.0 for name in self.workers}
+        # completion times of splits already assigned per worker; entries
+        # still in the future at a query's arrival form that worker's
+        # backlog, which is what the scheduler's busy check inspects
+        outstanding: dict[str, list[float]] = {name: [] for name in self.workers}
+        results: list[QueryResult] = []
+        for arrival, query in sorted(arrivals, key=lambda pair: pair[0]):
+            stats = QueryRuntimeStats(query_id=query.query_id)
+            stats.tables = [scan.table for scan in query.scans]
+            planned = self.plan(query)
+            stats.splits = len(planned)
+            partitions_touched: set[str] = set()
+            scheduling_wall = 0.0
+            completion = arrival
+            for name in self.workers:
+                outstanding[name] = [
+                    t for t in outstanding[name] if t > arrival
+                ]
+            for split, profile in planned:
+                backlog = {
+                    name: len(pending) for name, pending in outstanding.items()
+                }
+                decision = self.scheduler.assign(split, backlog)
+                scheduling_wall += max(decision.probes - 1, 0) * probe_latency
+                if decision.affinity:
+                    stats.affinity_hits += 1
+                if decision.bypass_cache:
+                    stats.cache_bypassed_splits += 1
+                worker = self.workers[decision.worker]
+                result = worker.execute_split(
+                    split, profile, stats, bypass_cache=decision.bypass_cache
+                )
+                start = max(arrival, worker_free_at[decision.worker])
+                finish = start + result.input_wall + result.cpu_time
+                worker_free_at[decision.worker] = finish
+                outstanding[decision.worker].append(finish)
+                completion = max(completion, finish)
+                partitions_touched.add(
+                    f"{split.qualified_table}/{split.partition}"
+                )
+            stats.partitions = sorted(partitions_touched)
+            wall = (completion - arrival) + query.compute_seconds + scheduling_wall
+            stats.total_wall = wall
+            stats.input_wall += scheduling_wall
+            self.aggregator.record(stats)
+            results.append(
+                QueryResult(query_id=query.query_id, wall_seconds=wall,
+                            stats=stats)
+            )
+        return results
+
+    # -- fleet reporting -----------------------------------------------------------
+
+    def cluster_hit_ratio(self) -> float:
+        hits = sum(w.metrics.counter("get_hits").value for w in self.workers.values())
+        misses = sum(
+            w.metrics.counter("get_misses").value for w in self.workers.values()
+        )
+        total = hits + misses
+        return hits / total if total else 0.0

@@ -1,0 +1,120 @@
+"""EXPLAIN-style rendering of query profiles against a catalog.
+
+Operators debugging cache behaviour want to see what a query will do
+*before* running it: which partitions resolve, how many splits and column-
+chunk requests the scan produces, how many bytes predicate pushdown leaves
+on the table.  :func:`explain` renders that plan; :func:`estimate` returns
+the numbers programmatically (they are exact for the simulator's
+deterministic chunk geometry, not heuristics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import format_bytes
+from repro.presto.catalog import Catalog
+from repro.presto.query import QueryProfile, TableScan
+from repro.presto.split import splits_for_file
+
+
+@dataclass(frozen=True, slots=True)
+class ScanEstimate:
+    """Predicted I/O of one table scan."""
+
+    table: str
+    partitions: int
+    files: int
+    splits: int
+    chunk_requests: int
+    bytes_scanned: int
+
+
+def estimate_scan(
+    catalog: Catalog, scan: TableScan, *, target_split_size: int
+) -> ScanEstimate:
+    """Exact split/chunk/byte counts for one scan (mirrors the operator's
+    deterministic chunk geometry)."""
+    table = catalog.table(scan.table)
+    partitions = scan.resolve_partitions(table)
+    files = 0
+    splits = 0
+    chunk_requests = 0
+    bytes_scanned = 0
+    keep_every = max(int(round(1.0 / scan.profile.row_group_selectivity)), 1)
+    for partition_name in partitions:
+        for data_file in table.partitions[partition_name].files:
+            files += 1
+            for split in splits_for_file(
+                data_file, schema=table.schema, table=table.name,
+                partition=partition_name, target_split_size=target_split_size,
+            ):
+                splits += 1
+                group_size = split.length // split.n_row_groups
+                if group_size == 0:
+                    chunk_requests += 1
+                    bytes_scanned += split.length
+                    continue
+                chunk_size = max(group_size // split.n_columns, 1)
+                columns = min(scan.profile.columns_read, split.n_columns)
+                kept_groups = len(
+                    [g for g in range(split.n_row_groups) if g % keep_every == 0]
+                )
+                chunk_requests += kept_groups * columns
+                bytes_scanned += kept_groups * columns * chunk_size
+    return ScanEstimate(
+        table=scan.table,
+        partitions=len(partitions),
+        files=files,
+        splits=splits,
+        chunk_requests=chunk_requests,
+        bytes_scanned=bytes_scanned,
+    )
+
+
+def estimate(
+    catalog: Catalog, query: QueryProfile, *, target_split_size: int = 64 * 1024 * 1024
+) -> list[ScanEstimate]:
+    """Per-scan estimates for a whole query."""
+    return [
+        estimate_scan(catalog, scan, target_split_size=target_split_size)
+        for scan in query.scans
+    ]
+
+
+def explain(
+    catalog: Catalog, query: QueryProfile, *, target_split_size: int = 64 * 1024 * 1024
+) -> str:
+    """Human-readable plan text.
+
+    >>> # print(explain(catalog, query))
+    """
+    estimates = estimate(catalog, query, target_split_size=target_split_size)
+    lines = [f"Query {query.query_id} "
+             f"(compute tail {query.compute_seconds:.2f}s)"]
+    total_bytes = 0
+    total_requests = 0
+    for scan, est in zip(query.scans, estimates):
+        lines.append(
+            f"  ScanFilterProject on {est.table}"
+        )
+        lines.append(
+            f"    partitions: {est.partitions} "
+            f"(fraction {scan.partition_fraction:.2f}, "
+            f"offset {scan.partition_offset})"
+        )
+        lines.append(
+            f"    projection: {scan.profile.columns_read} columns; "
+            f"row-group selectivity {scan.profile.row_group_selectivity:.2f}"
+        )
+        lines.append(
+            f"    I/O: {est.files} files -> {est.splits} splits -> "
+            f"{est.chunk_requests} chunk requests, "
+            f"{format_bytes(est.bytes_scanned)}"
+        )
+        total_bytes += est.bytes_scanned
+        total_requests += est.chunk_requests
+    lines.append(
+        f"  total: {total_requests} requests, {format_bytes(total_bytes)} scanned"
+    )
+    return "\n".join(lines)

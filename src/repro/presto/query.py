@@ -1,0 +1,71 @@
+"""Query profiles: the I/O shape of one query, the coordinator's input.
+
+A real Presto coordinator parses SQL into a plan; the simulator's unit of
+work is a :class:`QueryProfile` describing what the plan would *do to
+storage*: which tables are scanned, what fraction of partitions and row
+groups survive pruning, how many columns are projected, and how much
+downstream compute (joins, aggregation) follows the scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.presto.catalog import TableDef
+from repro.presto.operators import ScanProfile
+
+
+@dataclass(frozen=True, slots=True)
+class TableScan:
+    """One table's role in a query.
+
+    Attributes:
+        table: qualified table name.
+        partition_fraction: fraction of the table's partitions scanned.
+        profile: projection/pruning shape of the scan.
+        partition_offset: where the scanned window starts within the
+            table's (date-ordered) partitions.  Production streams advance
+            this over time to model new days of data arriving -- the churn
+            that keeps steady-state hit ratios below 100 %.
+    """
+
+    table: str
+    partition_fraction: float
+    profile: ScanProfile
+    partition_offset: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.partition_fraction <= 1:
+            raise ValueError(
+                f"partition_fraction must be in (0, 1], got {self.partition_fraction}"
+            )
+        if self.partition_offset < 0:
+            raise ValueError(
+                f"partition_offset must be >= 0, got {self.partition_offset}"
+            )
+
+    def resolve_partitions(self, table: TableDef) -> list[str]:
+        """The window of partitions this scan touches (wraps around), at
+        least one."""
+        names = sorted(table.partitions)
+        count = max(int(round(len(names) * self.partition_fraction)), 1)
+        start = self.partition_offset % len(names)
+        window = [names[(start + i) % len(names)] for i in range(min(count, len(names)))]
+        return window
+
+
+@dataclass(frozen=True, slots=True)
+class QueryProfile:
+    """The I/O shape of one query."""
+
+    query_id: str
+    scans: tuple[TableScan, ...]
+    compute_seconds: float
+
+    def __post_init__(self) -> None:
+        if not self.scans:
+            raise ValueError("a query must scan at least one table")
+        if self.compute_seconds < 0:
+            raise ValueError(
+                f"compute_seconds must be >= 0, got {self.compute_seconds}"
+            )

@@ -1,0 +1,22 @@
+"""Discrete-event simulation kernel.
+
+The paper's evaluation numbers come from production clusters; we reproduce
+their *shape* on a virtual clock.  The kernel is intentionally small:
+
+- :class:`~repro.sim.clock.SimClock` -- monotonic virtual time in seconds.
+- :class:`~repro.sim.events.EventLoop` -- a heap of timestamped callbacks,
+  used for periodic background jobs (TTL eviction sweeps, rate-limiter bucket
+  rotation, metrics flushes).
+- :class:`~repro.sim.rng.RngStream` -- named, seeded random streams so every
+  experiment is reproducible bit-for-bit.
+
+Device queueing (the part of the paper that produces "blocked processes")
+is modelled analytically in :mod:`repro.storage.device` on top of the same
+clock, so no coroutine machinery is needed.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.events import EventLoop, ScheduledEvent
+from repro.sim.rng import RngStream
+
+__all__ = ["SimClock", "EventLoop", "ScheduledEvent", "RngStream"]

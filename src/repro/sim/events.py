@@ -1,0 +1,121 @@
+"""A timestamped-callback event loop over a :class:`~repro.sim.clock.SimClock`.
+
+Used for the periodic background jobs the paper describes: the TTL eviction
+sweep (Section 4.1), the rate limiter's minute-bucket rotation (Section
+6.2.2), and per-minute metrics aggregation (Section 6.1.3).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.sim.clock import SimClock
+
+
+@dataclass(order=True, frozen=True)
+class ScheduledEvent:
+    """An event in the loop's heap, ordered by (time, sequence number)."""
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(compare=False, default=False, hash=False)
+
+
+class _Handle:
+    """Cancellation handle returned by :meth:`EventLoop.schedule`."""
+
+    __slots__ = ("cancelled",)
+
+    def __init__(self) -> None:
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class EventLoop:
+    """A heap of timestamped callbacks driven by a virtual clock.
+
+    >>> loop = EventLoop()
+    >>> hits = []
+    >>> _ = loop.schedule(5.0, lambda: hits.append(loop.clock.now()))
+    >>> loop.run_until(10.0)
+    >>> hits
+    [5.0]
+    """
+
+    def __init__(self, clock: SimClock | None = None) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self._heap: list[tuple[float, int, _Handle, Callable[[], None]]] = []
+        self._seq = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for __, __, handle, __ in self._heap if not handle.cancelled)
+
+    def schedule(self, when: float, callback: Callable[[], None]) -> _Handle:
+        """Schedule ``callback`` to fire at absolute virtual time ``when``."""
+        if when < self.clock.now():
+            raise ValueError(
+                f"cannot schedule in the past (when={when}, now={self.clock.now()})"
+            )
+        handle = _Handle()
+        heapq.heappush(self._heap, (when, next(self._seq), handle, callback))
+        return handle
+
+    def schedule_after(self, delay: float, callback: Callable[[], None]) -> _Handle:
+        """Schedule ``callback`` to fire ``delay`` seconds from now."""
+        return self.schedule(self.clock.now() + delay, callback)
+
+    def schedule_periodic(
+        self, interval: float, callback: Callable[[], None], *, start: float | None = None
+    ) -> _Handle:
+        """Fire ``callback`` every ``interval`` seconds until cancelled.
+
+        Returns a single handle; cancelling it stops future firings.
+        """
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        handle = _Handle()
+        first = self.clock.now() + interval if start is None else start
+
+        def fire() -> None:
+            if handle.cancelled:
+                return
+            callback()
+            if not handle.cancelled:
+                heapq.heappush(
+                    self._heap,
+                    (self.clock.now() + interval, next(self._seq), handle, fire),
+                )
+
+        heapq.heappush(self._heap, (first, next(self._seq), handle, fire))
+        return handle
+
+    def run_until(self, deadline: float) -> None:
+        """Advance the clock, firing every due callback, up to ``deadline``."""
+        while self._heap and self._heap[0][0] <= deadline:
+            when, __, handle, callback = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self.clock.advance_to(when)
+            callback()
+        self.clock.advance_to(deadline)
+
+    def run_all(self, *, max_events: int = 1_000_000) -> None:
+        """Drain the heap completely (bounded by ``max_events``)."""
+        fired = 0
+        while self._heap:
+            when, __, handle, callback = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self.clock.advance_to(when)
+            callback()
+            fired += 1
+            if fired >= max_events:
+                raise RuntimeError(
+                    f"event loop did not quiesce after {max_events} events"
+                )

@@ -1,0 +1,33 @@
+"""Simulated storage substrates.
+
+- :mod:`repro.storage.device` -- HDD/SSD device models with bounded
+  concurrency; the source of "blocked process" counts (Section 2.2, Fig 14).
+- :mod:`repro.storage.object_store` -- S3-like remote object store with
+  per-request overhead and optional request-rate throttling.
+- :mod:`repro.storage.remote` -- the ``DataSource`` interface the local
+  cache reads through, plus synthetic and object-store-backed sources.
+- :mod:`repro.storage.hdfs` -- an HDFS subset (NameNode, DataNodes, blocks
+  with generation stamps) sufficient for the HDFS local cache case study.
+"""
+
+from repro.storage.device import DeviceProfile, StorageDevice
+from repro.storage.object_store import ObjectStore, ObjectStoreProfile
+from repro.storage.remote import (
+    DataSource,
+    NullDataSource,
+    ObjectStoreDataSource,
+    ReadResult,
+    SyntheticDataSource,
+)
+
+__all__ = [
+    "DeviceProfile",
+    "StorageDevice",
+    "ObjectStore",
+    "ObjectStoreProfile",
+    "DataSource",
+    "ReadResult",
+    "SyntheticDataSource",
+    "NullDataSource",
+    "ObjectStoreDataSource",
+]

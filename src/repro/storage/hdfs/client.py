@@ -1,0 +1,58 @@
+"""A DFS client: file-level reads over the NameNode/DataNode pair."""
+
+from __future__ import annotations
+
+from repro.storage.hdfs.block import BlockId
+from repro.storage.hdfs.namenode import FileStatus, NameNode
+from repro.storage.remote import ReadResult
+
+
+class DfsClient:
+    """Client-side logic: resolve blocks via the NameNode, read from
+    DataNodes, reassemble file ranges."""
+
+    def __init__(self, namenode: NameNode) -> None:
+        self.namenode = namenode
+
+    def create(self, path: str, data: bytes) -> FileStatus:
+        return self.namenode.create_file(path, data)
+
+    def append(self, path: str, extra: bytes) -> BlockId:
+        return self.namenode.append_to_file(path, extra)
+
+    def delete(self, path: str) -> list[BlockId]:
+        return self.namenode.delete_file(path)
+
+    def file_length(self, path: str) -> int:
+        return self.namenode.get_file_status(path).length
+
+    def read(self, path: str, offset: int, length: int) -> ReadResult:
+        """Ranged read across block boundaries; latency sums DataNode I/O."""
+        status = self.namenode.get_file_status(path)
+        if offset < 0 or length < 0:
+            raise ValueError(f"offset/length must be >= 0, got {offset}/{length}")
+        parts: list[bytes] = []
+        latency = 0.0
+        position = 0
+        remaining_offset = offset
+        remaining_length = min(length, max(status.length - offset, 0))
+        for identity in status.blocks:
+            nodes = self.namenode.locate_block(identity)
+            block_length = nodes[0].block_length(identity)
+            block_start = position
+            position += block_length
+            if remaining_length <= 0:
+                break
+            if remaining_offset >= position:
+                continue
+            in_block = max(remaining_offset - block_start, 0)
+            take = min(block_length - in_block, remaining_length)
+            result = nodes[0].read_block(identity, in_block, take)
+            parts.append(result.data)
+            latency += result.latency
+            remaining_offset += take
+            remaining_length -= take
+        return ReadResult(data=b"".join(parts), latency=latency)
+
+    def read_fully(self, path: str) -> ReadResult:
+        return self.read(path, 0, self.file_length(path))

@@ -1,0 +1,82 @@
+"""ViewFs: a client-side mount table over multiple HDFS namespaces.
+
+Section 2.1.2: to scale HDFS, "Uber engineers instituted several
+enhancements, such as the adoption of View File System (ViewFs)".  ViewFs
+federates independent NameNodes behind one namespace: a mount table maps
+path prefixes to clusters, and the client routes each operation to the
+cluster owning the longest matching mount.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FileNotFoundInStorageError
+from repro.storage.hdfs.client import DfsClient
+from repro.storage.remote import ReadResult
+
+
+class ViewFs:
+    """Longest-prefix-match routing across mounted DFS clients.
+
+    >>> # viewfs = ViewFs({"/warehouse": wh_client, "/logs": logs_client})
+    >>> # viewfs.read("/warehouse/orders/part-0", 0, 100)
+    """
+
+    def __init__(self, mounts: dict[str, DfsClient]) -> None:
+        if not mounts:
+            raise ValueError("at least one mount is required")
+        self._mounts: dict[str, DfsClient] = {}
+        for prefix, client in mounts.items():
+            normalized = "/" + prefix.strip("/")
+            if normalized in self._mounts:
+                raise ValueError(f"duplicate mount {normalized!r}")
+            self._mounts[normalized] = client
+
+    def add_mount(self, prefix: str, client: DfsClient) -> None:
+        normalized = "/" + prefix.strip("/")
+        if normalized in self._mounts:
+            raise ValueError(f"duplicate mount {normalized!r}")
+        self._mounts[normalized] = client
+
+    def mounts(self) -> list[str]:
+        return sorted(self._mounts)
+
+    def resolve(self, path: str) -> tuple[DfsClient, str]:
+        """The client owning ``path`` (longest prefix wins) and the path."""
+        if not path.startswith("/"):
+            path = "/" + path
+        best: str | None = None
+        for prefix in self._mounts:
+            if path == prefix or path.startswith(prefix + "/"):
+                if best is None or len(prefix) > len(best):
+                    best = prefix
+        if best is None:
+            raise FileNotFoundInStorageError(
+                f"no mount covers {path!r}; mounts: {self.mounts()}"
+            )
+        return self._mounts[best], path
+
+    # -- routed operations ---------------------------------------------------
+
+    def create(self, path: str, data: bytes):
+        client, path = self.resolve(path)
+        return client.create(path, data)
+
+    def append(self, path: str, extra: bytes):
+        client, path = self.resolve(path)
+        return client.append(path, extra)
+
+    def delete(self, path: str):
+        client, path = self.resolve(path)
+        return client.delete(path)
+
+    def file_length(self, path: str) -> int:
+        client, path = self.resolve(path)
+        return client.file_length(path)
+
+    def read(self, path: str, offset: int, length: int) -> ReadResult:
+        client, path = self.resolve(path)
+        return client.read(path, offset, length)
+
+    def read_fully(self, path: str) -> ReadResult:
+        client, path = self.resolve(path)
+        return client.read_fully(path)

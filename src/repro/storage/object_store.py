@@ -1,0 +1,129 @@
+"""An S3-like remote object store model.
+
+The compute-storage-disaggregation pain the paper opens with: every byte
+Presto scans crosses the network or an object-store API, each request pays
+tens of milliseconds of overhead, and the provider throttles aggregate
+request rate.  The model charges per request::
+
+    latency = base_latency + size / bandwidth (+ throttle delay)
+
+Throttling is a token bucket over requests/second; once the bucket is
+drained, requests are serialized at the refill rate -- matching the
+"API throughput" strain of Section 1.  Payloads are held in memory keyed by
+name; :class:`~repro.storage.remote.SyntheticDataSource` is the alternative
+when materializing data is unnecessary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FileNotFoundInStorageError
+from repro.sim.clock import Clock, SimClock
+
+
+@dataclass(frozen=True, slots=True)
+class ObjectStoreProfile:
+    """Latency/throughput envelope of a remote object store.
+
+    Attributes:
+        base_latency: fixed time-to-first-byte per GET, seconds.
+        bandwidth: per-request streaming throughput, bytes/second.
+        max_requests_per_second: token-bucket throttle (``None`` = none).
+        burst: token bucket depth.
+    """
+
+    base_latency: float = 0.03
+    bandwidth: float = 120e6
+    max_requests_per_second: float | None = None
+    burst: int = 100
+
+    def __post_init__(self) -> None:
+        if self.base_latency < 0:
+            raise ValueError("base_latency must be >= 0")
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.max_requests_per_second is not None and self.max_requests_per_second <= 0:
+            raise ValueError("max_requests_per_second must be positive")
+        if self.burst <= 0:
+            raise ValueError("burst must be positive")
+
+    @classmethod
+    def s3_like(cls) -> "ObjectStoreProfile":
+        """Cloud object storage: ~30 ms TTFB, ~120 MB/s per stream."""
+        return cls(base_latency=0.03, bandwidth=120e6)
+
+    @classmethod
+    def hdfs_remote(cls) -> "ObjectStoreProfile":
+        """Remote HDFS over the data-center network: lower TTFB."""
+        return cls(base_latency=0.004, bandwidth=400e6)
+
+
+class ObjectStore:
+    """In-memory object payloads plus the latency/throttle model."""
+
+    def __init__(
+        self, profile: ObjectStoreProfile | None = None, clock: Clock | None = None
+    ) -> None:
+        self.profile = profile if profile is not None else ObjectStoreProfile.s3_like()
+        self.clock = clock if clock is not None else SimClock()
+        self._objects: dict[str, bytes] = {}
+        self._tokens = float(self.profile.burst)
+        self._last_refill = 0.0
+        self.request_count = 0
+        self.bytes_served = 0
+        self.throttled_requests = 0
+
+    # -- namespace -----------------------------------------------------------
+
+    def put_object(self, name: str, data: bytes) -> None:
+        self._objects[name] = bytes(data)
+
+    def delete_object(self, name: str) -> bool:
+        return self._objects.pop(name, None) is not None
+
+    def contains(self, name: str) -> bool:
+        return name in self._objects
+
+    def object_length(self, name: str) -> int:
+        try:
+            return len(self._objects[name])
+        except KeyError:
+            raise FileNotFoundInStorageError(name) from None
+
+    def list_objects(self) -> list[str]:
+        return sorted(self._objects)
+
+    # -- data path --------------------------------------------------------------
+
+    def get_range(self, name: str, offset: int, length: int) -> tuple[bytes, float]:
+        """Ranged GET; returns ``(data, latency_seconds)``."""
+        try:
+            payload = self._objects[name]
+        except KeyError:
+            raise FileNotFoundInStorageError(name) from None
+        data = payload[offset : offset + length]
+        latency = self._request_latency(len(data))
+        self.request_count += 1
+        self.bytes_served += len(data)
+        return data, latency
+
+    def _request_latency(self, size: int) -> float:
+        latency = self.profile.base_latency + size / self.profile.bandwidth
+        limit = self.profile.max_requests_per_second
+        if limit is None:
+            return latency
+        now = self.clock.now()
+        self._tokens = min(
+            float(self.profile.burst),
+            self._tokens + (now - self._last_refill) * limit,
+        )
+        self._last_refill = now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return latency
+        # Out of tokens: this request waits for the next token to refill.
+        deficit = 1.0 - self._tokens
+        self._tokens = 0.0
+        self.throttled_requests += 1
+        return latency + deficit / limit

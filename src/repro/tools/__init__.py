@@ -1,0 +1,12 @@
+"""Command-line tools.
+
+- ``repro-trace`` (:mod:`repro.tools.trace_stats`) -- generate synthetic
+  block-access traces and analyze trace files into Table-1-style
+  statistics plus a Zipf-exponent fit.
+- ``repro-cachesim`` (:mod:`repro.tools.cache_sim`) -- replay a trace file
+  through the local cache under different configurations (eviction policy,
+  capacity, page size, admission) and report hit ratios -- the offline
+  what-if analysis operators run before changing production settings.
+"""
+
+__all__ = ["trace_stats", "cache_sim"]

@@ -1,0 +1,99 @@
+"""``repro-report``: collate benchmark reports into one document.
+
+After ``pytest benchmarks/ --benchmark-only``, each experiment leaves its
+table in ``bench_reports/<name>.txt``; this tool stitches them into a
+single markdown document in the paper's experiment order -- the artifact
+to diff against EXPERIMENTS.md after a change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+# Paper order: tables/figures first, then production results, then ablations.
+SECTION_ORDER = [
+    ("table1_hdfs_traffic", "Table 1 — HDFS production traffic"),
+    ("fig2_zipf_popularity", "Figure 2 — Zipf popularity"),
+    ("fig9_tpcds_q81_99", "Figure 9 — TPC-DS Q81–Q99"),
+    ("fig10_scan_time_percentiles", "Figure 10 — scan time percentiles"),
+    ("fig13_cache_read_rates", "Figure 13 — DataNode read rates"),
+    ("fig14_blocked_processes", "Figure 14 — blocked processes"),
+    ("fig15_tpcds_full", "Figure 15 — TPC-DS Q1–Q49"),
+    ("fig16_tpcds_full", "Figure 16 — TPC-DS Q50–Q99"),
+    ("fig15_16_summary", "TPC-DS Q1–Q99 summary"),
+    ("meta_production_latency", "Meta production (§6.1.4)"),
+    ("admission_effectiveness", "Admission effectiveness (§5.1)"),
+    ("ablation_page_size", "Ablation — page size (§7)"),
+    ("ablation_soft_affinity", "Ablation — soft affinity (§6.1.2)"),
+    ("ablation_replicas", "Ablation — replica count (§7)"),
+    ("ablation_eviction", "Ablation — eviction policy (§4.1)"),
+    ("ablation_admission", "Ablation — admission policy (§5.1)"),
+    ("ablation_metadata_cache", "Ablation — metadata cache (§6.1.1/§7)"),
+]
+
+
+def collate(report_dir: Path) -> str:
+    """Build the markdown document from whatever reports exist."""
+    sections: list[str] = ["# Benchmark report", ""]
+    seen: set[str] = set()
+    for stem, title in SECTION_ORDER:
+        path = report_dir / f"{stem}.txt"
+        if not path.exists():
+            continue
+        seen.add(stem)
+        sections.append(f"## {title}")
+        sections.append("")
+        sections.append("```")
+        sections.append(path.read_text(encoding="utf-8").rstrip())
+        sections.append("```")
+        sections.append("")
+    # anything new that is not yet in the canonical order
+    for path in sorted(report_dir.glob("*.txt")):
+        if path.stem in seen:
+            continue
+        sections.append(f"## {path.stem}")
+        sections.append("")
+        sections.append("```")
+        sections.append(path.read_text(encoding="utf-8").rstrip())
+        sections.append("```")
+        sections.append("")
+    return "\n".join(sections)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-report",
+        description="Collate bench_reports/*.txt into one markdown file.",
+    )
+    parser.add_argument(
+        "--reports", default="bench_reports",
+        help="directory holding per-benchmark .txt reports",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="output markdown path (default: stdout)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    report_dir = Path(args.reports)
+    if not report_dir.is_dir():
+        print(f"error: {report_dir} is not a directory "
+              f"(run `pytest benchmarks/ --benchmark-only` first)",
+              file=sys.stderr)
+        return 1
+    document = collate(report_dir)
+    if args.out:
+        Path(args.out).write_text(document, encoding="utf-8")
+        print(f"wrote {args.out}")
+    else:
+        print(document)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,108 @@
+"""Tests for directory allocators."""
+
+import pytest
+
+from repro.core.allocator import (
+    AffinityAllocator,
+    MaxFreeAllocator,
+    RoundRobinAllocator,
+    make_allocator,
+)
+from repro.core.config import CacheConfig, CacheDirectory
+from repro.core.metastore import PageMetaStore
+from repro.core.page import PageId, PageInfo
+
+
+def setup(capacities, allocator="affinity"):
+    config = CacheConfig(
+        page_size=10,
+        allocator=allocator,
+        directories=[CacheDirectory(f"/d{i}", c) for i, c in enumerate(capacities)],
+    )
+    return config, PageMetaStore()
+
+
+def fill(metastore, directory, size):
+    metastore.add(
+        PageInfo(PageId(f"fill{directory}-{size}", 0), size=size, directory=directory)
+    )
+
+
+class TestAffinity:
+    def test_same_file_same_directory(self):
+        config, meta = setup([1000, 1000, 1000])
+        alloc = AffinityAllocator(config, meta)
+        picks = {alloc.allocate("file-x", 10) for __ in range(5)}
+        assert len(picks) == 1
+
+    def test_different_files_spread(self):
+        config, meta = setup([1000] * 8)
+        alloc = AffinityAllocator(config, meta)
+        picks = {alloc.allocate(f"file-{i}", 10) for i in range(64)}
+        assert len(picks) > 1
+
+    def test_oversized_page_unplaceable(self):
+        config, meta = setup([100, 100])
+        alloc = AffinityAllocator(config, meta)
+        assert alloc.allocate("f", 101) is None
+
+    def test_overflow_to_emptiest_when_preferred_too_small(self):
+        # directory 0 can never hold the page; the allocator must detour.
+        config, meta = setup([5, 1000])
+        alloc = AffinityAllocator(config, meta)
+        for i in range(20):
+            pick = alloc.allocate(f"file-{i}", 10)
+            assert pick == 1
+
+
+class TestMaxFree:
+    def test_picks_most_free(self):
+        config, meta = setup([100, 100])
+        fill(meta, 0, 60)
+        alloc = MaxFreeAllocator(config, meta)
+        assert alloc.allocate("f", 10) == 1
+
+    def test_none_when_oversized(self):
+        config, meta = setup([50])
+        alloc = MaxFreeAllocator(config, meta)
+        assert alloc.allocate("f", 51) is None
+
+
+class TestRoundRobin:
+    def test_rotates(self):
+        config, meta = setup([100, 100, 100])
+        alloc = RoundRobinAllocator(config, meta)
+        picks = [alloc.allocate("f", 10) for __ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_skips_too_small(self):
+        config, meta = setup([5, 100])
+        alloc = RoundRobinAllocator(config, meta)
+        picks = [alloc.allocate("f", 10) for __ in range(3)]
+        assert picks == [1, 1, 1]
+
+    def test_none_when_nothing_fits(self):
+        config, meta = setup([5, 5])
+        alloc = RoundRobinAllocator(config, meta)
+        assert alloc.allocate("f", 10) is None
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name, cls",
+        [
+            ("affinity", AffinityAllocator),
+            ("max_free", MaxFreeAllocator),
+            ("round_robin", RoundRobinAllocator),
+        ],
+    )
+    def test_make(self, name, cls):
+        config, meta = setup([100], allocator=name)
+        assert isinstance(make_allocator(config, meta), cls)
+
+    def test_unknown_rejected(self):
+        config, meta = setup([100])
+        object.__setattr__(config, "allocator", "bogus") if False else None
+        config.allocator = "bogus"
+        with pytest.raises(ValueError):
+            make_allocator(config, meta)

@@ -1,0 +1,109 @@
+"""Thread-safety tests for the cache manager.
+
+Section 4.3: "We developed fine-grained locking mechanisms to support
+high-read concurrency."  The cache must stay consistent under concurrent
+readers and mixed read/delete traffic: correct bytes, capacity respected,
+metastore and page store in agreement.
+"""
+
+import threading
+
+from repro.core import CacheConfig, LocalCacheManager, PageId
+from repro.storage.remote import SyntheticDataSource
+
+KIB = 1024
+PAGE = 16 * KIB
+N_THREADS = 8
+READS_PER_THREAD = 120
+
+
+def make_setup(capacity=64 * PAGE):
+    source = SyntheticDataSource(base_latency=0.0, bandwidth=1e12)
+    for n in range(8):
+        source.add_file(f"file-{n}", 32 * PAGE)
+    cache = LocalCacheManager(CacheConfig.small(capacity, page_size=PAGE))
+    return cache, source
+
+
+class TestConcurrentReads:
+    def test_parallel_readers_get_correct_bytes(self):
+        cache, source = make_setup()
+        errors: list[Exception] = []
+
+        def reader(thread_id: int) -> None:
+            try:
+                for i in range(READS_PER_THREAD):
+                    file_id = f"file-{(thread_id + i) % 8}"
+                    offset = (i * 7919) % (30 * PAGE)
+                    expected = source.read(file_id, offset, 512).data
+                    actual = cache.read(file_id, offset, 512, source).data
+                    assert actual == expected
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=reader, args=(t,)) for t in range(N_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert cache.bytes_used <= cache.capacity_bytes
+
+    def test_readers_racing_deleters_stay_consistent(self):
+        cache, source = make_setup(capacity=16 * PAGE)  # heavy eviction
+        errors: list[Exception] = []
+        stop = threading.Event()
+
+        def reader(thread_id: int) -> None:
+            try:
+                for i in range(READS_PER_THREAD):
+                    file_id = f"file-{(thread_id + i) % 8}"
+                    offset = (i * 4093) % (30 * PAGE)
+                    expected = source.read(file_id, offset, 256).data
+                    actual = cache.read(file_id, offset, 256, source).data
+                    assert actual == expected
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def deleter() -> None:
+            try:
+                n = 0
+                while not stop.is_set():
+                    cache.delete_file(f"file-{n % 8}")
+                    cache.delete_page(PageId(f"file-{(n + 3) % 8}", n % 16))
+                    n += 1
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=reader, args=(t,)) for t in range(4)
+        ]
+        destroyer = threading.Thread(target=deleter)
+        for thread in threads:
+            thread.start()
+        destroyer.start()
+        for thread in threads:
+            thread.join()
+        stop.set()
+        destroyer.join()
+        assert errors == []
+        # metastore byte accounting matches the page store exactly
+        assert cache.bytes_used == cache.page_store.bytes_used(0)
+        assert cache.bytes_used <= cache.capacity_bytes
+
+    def test_metrics_consistent_after_race(self):
+        cache, source = make_setup()
+
+        def reader() -> None:
+            for i in range(100):
+                cache.read("file-0", (i % 16) * PAGE, 128, source)
+
+        threads = [threading.Thread(target=reader) for __ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        counters = cache.metrics.counters()
+        assert counters["get_hits"] + counters["get_misses"] == 400

@@ -1,0 +1,64 @@
+"""Tests for cache configuration validation."""
+
+import pytest
+
+from repro.core.config import (
+    DEFAULT_PAGE_SIZE,
+    LEGACY_PAGE_SIZE,
+    MIB,
+    CacheConfig,
+    CacheDirectory,
+)
+
+
+class TestCacheDirectory:
+    def test_valid(self):
+        d = CacheDirectory("/cache/a", 1024)
+        assert d.capacity_bytes == 1024
+
+    def test_nonpositive_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            CacheDirectory("/cache/a", 0)
+
+
+class TestCacheConfig:
+    def test_defaults_match_paper(self):
+        config = CacheConfig()
+        assert config.page_size == DEFAULT_PAGE_SIZE == 1 * MIB
+        assert LEGACY_PAGE_SIZE == 64 * MIB
+        assert config.eviction_policy == "lru"
+        assert config.read_timeout == 10.0
+
+    def test_capacity_sums_directories(self):
+        config = CacheConfig(
+            directories=[CacheDirectory("/a", 100), CacheDirectory("/b", 200)]
+        )
+        assert config.capacity_bytes == 300
+
+    def test_small_helper(self):
+        config = CacheConfig.small(1 * MIB)
+        assert config.capacity_bytes == 1 * MIB
+        assert len(config.directories) == 1
+
+    def test_requires_directory(self):
+        with pytest.raises(ValueError):
+            CacheConfig(directories=[])
+
+    def test_duplicate_directories_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(
+                directories=[CacheDirectory("/a", 100), CacheDirectory("/a", 100)]
+            )
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("page_size", 0),
+            ("read_timeout", 0.0),
+            ("lock_stripes", 0),
+            ("eviction_batch", 0),
+        ],
+    )
+    def test_nonpositive_fields_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            CacheConfig(**{field: value})

@@ -1,0 +1,156 @@
+"""Tests for the generic multi-index set, including a stateful property test."""
+
+from dataclasses import dataclass
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.indexed_set import Index, IndexedSet
+
+
+@dataclass(frozen=True)
+class Item:
+    key: str
+    group: int
+    tags: tuple[str, ...] = ()
+
+
+def make_set() -> IndexedSet[Item]:
+    s: IndexedSet[Item] = IndexedSet(primary=lambda item: item.key)
+    s.register_index(Index("group", lambda item: item.group))
+    s.register_index(Index("tag", lambda item: item.tags, multi=True))
+    return s
+
+
+class TestBasics:
+    def test_add_and_get(self):
+        s = make_set()
+        assert s.add(Item("a", 1))
+        assert s.get("a") == Item("a", 1)
+        assert len(s) == 1
+        assert Item("a", 1) in s
+        assert s.contains_key("a")
+
+    def test_duplicate_add_is_noop(self):
+        s = make_set()
+        s.add(Item("a", 1))
+        assert not s.add(Item("a", 2))
+        assert s.get("a").group == 1
+
+    def test_remove(self):
+        s = make_set()
+        s.add(Item("a", 1))
+        assert s.remove_key("a") == Item("a", 1)
+        assert s.remove_key("a") is None
+        assert len(s) == 0
+
+    def test_discard(self):
+        s = make_set()
+        item = Item("a", 1)
+        s.add(item)
+        assert s.discard(item)
+        assert not s.discard(item)
+
+    def test_replace(self):
+        s = make_set()
+        s.add(Item("a", 1))
+        displaced = s.replace(Item("a", 2))
+        assert displaced == Item("a", 1)
+        assert s.get("a").group == 2
+        assert s.lookup("group", 1) == []
+        assert s.lookup("group", 2) == [Item("a", 2)]
+
+    def test_iter(self):
+        s = make_set()
+        s.add(Item("a", 1))
+        s.add(Item("b", 2))
+        assert {item.key for item in s} == {"a", "b"}
+
+
+class TestIndices:
+    def test_lookup_by_group(self):
+        s = make_set()
+        s.add(Item("a", 1))
+        s.add(Item("b", 1))
+        s.add(Item("c", 2))
+        assert {i.key for i in s.lookup("group", 1)} == {"a", "b"}
+        assert s.count("group", 1) == 2
+        assert s.count("group", 99) == 0
+
+    def test_multi_key_index(self):
+        s = make_set()
+        s.add(Item("a", 1, tags=("x", "y")))
+        s.add(Item("b", 1, tags=("y",)))
+        assert {i.key for i in s.lookup("tag", "y")} == {"a", "b"}
+        assert {i.key for i in s.lookup("tag", "x")} == {"a"}
+
+    def test_remove_cleans_all_indices(self):
+        s = make_set()
+        s.add(Item("a", 1, tags=("x",)))
+        s.remove_key("a")
+        assert s.lookup("group", 1) == []
+        assert s.lookup("tag", "x") == []
+        assert list(s.index_keys("group")) == []
+
+    def test_index_keys(self):
+        s = make_set()
+        s.add(Item("a", 1))
+        s.add(Item("b", 2))
+        assert sorted(s.index_keys("group")) == [1, 2]
+
+    def test_late_registration_backfills(self):
+        s: IndexedSet[Item] = IndexedSet(primary=lambda item: item.key)
+        s.add(Item("a", 1))
+        s.add(Item("b", 2))
+        s.register_index(Index("group", lambda item: item.group))
+        assert s.lookup("group", 1) == [Item("a", 1)]
+
+    def test_duplicate_index_name_rejected(self):
+        s = make_set()
+        with pytest.raises(ValueError):
+            s.register_index(Index("group", lambda item: item.group))
+
+    def test_unknown_index_raises(self):
+        s = make_set()
+        with pytest.raises(KeyError):
+            s.lookup("nope", 1)
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["add", "remove"]),
+            st.integers(min_value=0, max_value=20),  # key
+            st.integers(min_value=0, max_value=3),  # group
+        ),
+        max_size=200,
+    )
+)
+def test_indices_always_consistent_with_universe(ops):
+    """Property: after any add/remove sequence, every index partitions the
+    universe exactly (Figure 5's invariant)."""
+    s: IndexedSet[Item] = IndexedSet(primary=lambda item: item.key)
+    s.register_index(Index("group", lambda item: item.group))
+    model: dict[str, Item] = {}
+    for op, key_n, group in ops:
+        key = f"k{key_n}"
+        if op == "add":
+            item = Item(key, group)
+            added = s.add(item)
+            assert added == (key not in model)
+            model.setdefault(key, item)
+        else:
+            removed = s.remove_key(key)
+            assert removed == model.pop(key, None)
+    assert len(s) == len(model)
+    assert {i.key for i in s} == set(model)
+    # Index buckets partition the universe.
+    seen: list[str] = []
+    for group_key in s.index_keys("group"):
+        bucket = s.lookup("group", group_key)
+        for item in bucket:
+            assert item.group == group_key
+            assert model[item.key] == item
+        seen.extend(i.key for i in bucket)
+    assert sorted(seen) == sorted(model)

@@ -1,0 +1,129 @@
+"""Tests for the metrics registry and fleet aggregation."""
+
+import pytest
+
+from repro.core.metrics import (
+    AggregatedMetrics,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestPrimitives:
+    def test_counter(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_gauge(self):
+        gauge = Gauge()
+        gauge.set(10.0)
+        gauge.add(-3.0)
+        assert gauge.value == 7.0
+
+    def test_histogram_percentiles(self):
+        histogram = Histogram()
+        for v in range(1, 101):
+            histogram.observe(float(v))
+        assert histogram.count == 100
+        assert histogram.percentile(50) == pytest.approx(50.5)
+        assert histogram.percentile(100) == 100.0
+        assert histogram.mean == pytest.approx(50.5)
+
+    def test_histogram_empty(self):
+        assert Histogram().percentile(95) == 0.0
+        assert Histogram().mean == 0.0
+
+    def test_histogram_rejects_nan(self):
+        with pytest.raises(ValueError):
+            Histogram().observe(float("nan"))
+
+    def test_histogram_bad_percentile(self):
+        histogram = Histogram()
+        histogram.observe(1.0)
+        with pytest.raises(ValueError):
+            histogram.percentile(101)
+
+    def test_histogram_merge(self):
+        a, b = Histogram(), Histogram()
+        a.observe(1.0)
+        b.observe(3.0)
+        a.merge(b)
+        assert a.count == 2
+        assert a.total == 4.0
+
+
+class TestRegistry:
+    def test_well_known_counters_exist(self):
+        registry = MetricsRegistry()
+        counters = registry.counters()
+        assert "get_hits" in counters
+        assert "timeout_fallbacks" in counters
+
+    def test_hit_ratio(self):
+        registry = MetricsRegistry()
+        registry.counter("get_hits").inc(3)
+        registry.counter("get_misses").inc(1)
+        assert registry.hit_ratio == 0.75
+
+    def test_hit_ratio_empty(self):
+        assert MetricsRegistry().hit_ratio == 0.0
+
+    def test_error_breakdown(self):
+        """Per-operation, per-error-type counts (the Section 7 lesson)."""
+        registry = MetricsRegistry()
+        registry.record_error("put", OSError("disk"))
+        registry.record_error("put", OSError("disk again"))
+        registry.record_error("get", "ChecksumMismatch")
+        breakdown = registry.error_breakdown()
+        assert breakdown["put"]["OSError"] == 2
+        assert breakdown["get"]["ChecksumMismatch"] == 1
+        assert registry.total_errors == 3
+
+    def test_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("get_hits").inc(2)
+        registry.counter("get_misses").inc(2)
+        registry.counter("put_rejected_quota").inc()
+        snap = registry.snapshot()
+        assert snap.hits == 2
+        assert snap.hit_ratio == 0.5
+        assert snap.put_rejections == 1
+
+    def test_custom_instruments(self):
+        registry = MetricsRegistry()
+        registry.gauge("bytes_cached").set(100)
+        registry.histogram("query_latency").observe(1.5)
+        assert registry.gauge("bytes_cached").value == 100
+        assert registry.histogram("query_latency").count == 1
+
+
+class TestAggregation:
+    def test_fleet_rollup(self):
+        """Thousands of per-node registries roll into one view (Section 7)."""
+        nodes = [MetricsRegistry(f"node{i}") for i in range(4)]
+        for i, node in enumerate(nodes):
+            node.counter("get_hits").inc(i + 1)
+            node.counter("get_misses").inc(1)
+            node.histogram("latency").observe(float(i))
+            node.record_error("get", "TimeoutError")
+        fleet = AggregatedMetrics(nodes)
+        assert len(fleet) == 4
+        assert fleet.counter_total("get_hits") == 10
+        assert fleet.hit_ratio == pytest.approx(10 / 14)
+        assert fleet.merged_histogram("latency").count == 4
+        assert fleet.error_breakdown()["get"]["TimeoutError"] == 4
+        assert len(fleet.per_node_hit_ratios()) == 4
+
+    def test_register_after_construction(self):
+        fleet = AggregatedMetrics()
+        fleet.register(MetricsRegistry())
+        assert len(fleet) == 1
+        assert fleet.hit_ratio == 0.0

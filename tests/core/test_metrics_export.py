@@ -1,0 +1,73 @@
+"""Tests for the metrics exporters."""
+
+import json
+
+from repro.core.metrics import AggregatedMetrics, MetricsRegistry
+from repro.core.metrics_export import (
+    fleet_to_json,
+    fleet_to_json_dict,
+    to_json,
+    to_json_dict,
+    to_prometheus_text,
+)
+
+
+def make_registry():
+    registry = MetricsRegistry("worker-0")
+    registry.counter("get_hits").inc(7)
+    registry.counter("get_misses").inc(3)
+    registry.gauge("bytes_cached").set(1024)
+    for v in (1.0, 2.0, 3.0, 4.0):
+        registry.histogram("latency").observe(v)
+    registry.record_error("put", OSError("disk full"))
+    return registry
+
+
+class TestJsonExport:
+    def test_structure(self):
+        doc = to_json_dict(make_registry())
+        assert doc["name"] == "worker-0"
+        assert doc["counters"]["get_hits"] == 7
+        assert doc["gauges"]["bytes_cached"] == 1024
+        assert doc["histograms"]["latency"]["count"] == 4
+        assert doc["histograms"]["latency"]["p50"] == 2.5
+        assert doc["errors"]["put"]["OSError"] == 1
+        assert doc["hit_ratio"] == 0.7
+
+    def test_json_roundtrips(self):
+        parsed = json.loads(to_json(make_registry(), indent=2))
+        assert parsed["counters"]["get_misses"] == 3
+
+
+class TestPrometheusExport:
+    def test_exposition_format(self):
+        text = to_prometheus_text(make_registry())
+        assert 'cache_get_hits_total{instance="worker-0"} 7' in text
+        assert 'cache_bytes_cached{instance="worker-0"} 1024' in text
+        assert 'cache_latency_count{instance="worker-0"} 4' in text
+        assert 'quantile="0.5"' in text
+        assert ('cache_errors_total{instance="worker-0",operation="put",'
+                'type="OSError"} 1') in text
+        assert 'cache_hit_ratio{instance="worker-0"} 0.7' in text
+        assert text.endswith("\n")
+
+    def test_metric_names_sanitized_label_values_not(self):
+        registry = MetricsRegistry("node-1.cluster/a")
+        registry.counter("weird.name").inc()
+        text = to_prometheus_text(registry)
+        assert "cache_weird_name_total" in text      # metric name sanitized
+        assert 'instance="node-1.cluster/a"' in text  # label value verbatim
+
+
+class TestFleetExport:
+    def test_rollup(self):
+        nodes = [make_registry() for __ in range(3)]
+        fleet = AggregatedMetrics(nodes)
+        doc = fleet_to_json_dict(fleet)
+        assert doc["nodes"] == 3
+        assert doc["counters"]["get_hits"] == 21
+        assert doc["hit_ratio"] == 0.7
+        assert len(doc["per_node_hit_ratios"]) == 3
+        assert doc["errors"]["put"]["OSError"] == 3
+        parsed = json.loads(fleet_to_json(fleet))
+        assert parsed["nodes"] == 3

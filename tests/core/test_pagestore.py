@@ -1,0 +1,218 @@
+"""Tests for the three page stores: memory, local-file, simulated SSD."""
+
+import zlib
+
+import pytest
+
+from repro.core.page import PageId
+from repro.core.pagestore import (
+    FaultPlan,
+    LocalFilePageStore,
+    MemoryPageStore,
+    SimulatedSsdPageStore,
+)
+from repro.errors import (
+    CacheReadTimeoutError,
+    NoSpaceLeftError,
+    PageCorruptedError,
+    PageNotFoundError,
+)
+from repro.sim.clock import SimClock
+from repro.storage.device import DeviceProfile, StorageDevice
+
+PID = PageId("warehouse/orders/part-0", 3)
+
+
+class TestMemoryPageStore:
+    def test_roundtrip(self):
+        store = MemoryPageStore()
+        store.put(PID, b"hello world", 0)
+        assert store.get(PID, 0) == b"hello world"
+        assert store.contains(PID, 0)
+        assert store.bytes_used(0) == 11
+
+    def test_ranged_get(self):
+        store = MemoryPageStore()
+        store.put(PID, b"hello world", 0)
+        assert store.get(PID, 0, 6, 5) == b"world"
+        assert store.get(PID, 0, 6) == b"world"
+
+    def test_missing_raises(self):
+        with pytest.raises(PageNotFoundError):
+            MemoryPageStore().get(PID, 0)
+
+    def test_delete(self):
+        store = MemoryPageStore()
+        store.put(PID, b"abc", 0)
+        assert store.delete(PID, 0)
+        assert not store.delete(PID, 0)
+        assert store.bytes_used(0) == 0
+
+    def test_directories_are_isolated(self):
+        store = MemoryPageStore()
+        store.put(PID, b"abc", 0)
+        assert not store.contains(PID, 1)
+        with pytest.raises(PageNotFoundError):
+            store.get(PID, 1)
+
+    def test_overwrite_updates_usage(self):
+        store = MemoryPageStore()
+        store.put(PID, b"abc", 0)
+        store.put(PID, b"abcdef", 0)
+        assert store.bytes_used(0) == 6
+
+    def test_physical_limit_enforced(self):
+        store = MemoryPageStore(physical_limit_bytes=10)
+        store.put(PID, b"12345678", 0)
+        with pytest.raises(NoSpaceLeftError):
+            store.put(PageId("g", 0), b"12345678", 0)
+
+    def test_bad_limit_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryPageStore(physical_limit_bytes=0)
+
+
+class TestLocalFilePageStore:
+    def test_roundtrip(self, tmp_path):
+        store = LocalFilePageStore([tmp_path], page_size=1024)
+        store.put(PID, b"payload", 0)
+        assert store.get(PID, 0) == b"payload"
+        assert store.get(PID, 0, 3, 2) == b"lo"
+        assert store.bytes_used(0) == 7
+
+    def test_layout_matches_figure_4(self, tmp_path):
+        """page_size folder -> bucket -> file-ID dir -> page-index file."""
+        store = LocalFilePageStore([tmp_path], page_size=1024)
+        store.put(PID, b"payload", 0)
+        matches = list(tmp_path.glob("page_size=1024/bucket=*/file=*/3"))
+        assert len(matches) == 1
+        assert "warehouse" in matches[0].parent.name  # percent-encoded file id
+
+    def test_missing_raises(self, tmp_path):
+        store = LocalFilePageStore([tmp_path], page_size=1024)
+        with pytest.raises(PageNotFoundError):
+            store.get(PID, 0)
+
+    def test_delete_prunes_empty_dirs(self, tmp_path):
+        store = LocalFilePageStore([tmp_path], page_size=1024)
+        store.put(PID, b"payload", 0)
+        assert store.delete(PID, 0)
+        assert not store.delete(PID, 0)
+        assert list(tmp_path.glob("page_size=1024/bucket=*")) == []
+        # the persistent page_size folder survives (cache recovery anchor)
+        assert (tmp_path / "page_size=1024").exists()
+
+    def test_corruption_detected(self, tmp_path):
+        store = LocalFilePageStore([tmp_path], page_size=1024)
+        store.put(PID, b"payload", 0)
+        page_file = next(tmp_path.glob("page_size=1024/bucket=*/file=*/3"))
+        page_file.write_bytes(b"tampered")
+        with pytest.raises(PageCorruptedError):
+            store.get(PID, 0)
+
+    def test_missing_checksum_detected(self, tmp_path):
+        store = LocalFilePageStore([tmp_path], page_size=1024)
+        store.put(PID, b"payload", 0)
+        next(tmp_path.glob("page_size=1024/bucket=*/file=*/3.crc")).unlink()
+        with pytest.raises(PageCorruptedError):
+            store.get(PID, 0)
+
+    def test_verification_can_be_disabled(self, tmp_path):
+        store = LocalFilePageStore([tmp_path], page_size=1024, verify_checksums=False)
+        store.put(PID, b"payload", 0)
+        next(tmp_path.glob("page_size=1024/bucket=*/file=*/3.crc")).unlink()
+        assert store.get(PID, 0) == b"payload"
+
+    def test_recovery_from_directory_walk(self, tmp_path):
+        """Page identity is self-contained in names and parent folders."""
+        store = LocalFilePageStore([tmp_path], page_size=1024)
+        pages = [PageId("fileA", 0), PageId("fileA", 7), PageId("dir/fileB", 2)]
+        for page in pages:
+            store.put(page, b"x" * 100, 0)
+        # a fresh store instance rebuilds state purely from the layout
+        recovered = LocalFilePageStore([tmp_path], page_size=1024)
+        found = recovered.recover(0)
+        assert sorted((str(p), s) for p, s in found) == sorted(
+            (str(p), 100) for p in pages
+        )
+        assert recovered.bytes_used(0) == 300
+        assert recovered.get(PageId("dir/fileB", 2), 0) == b"x" * 100
+
+    def test_recovery_skips_other_page_sizes(self, tmp_path):
+        old = LocalFilePageStore([tmp_path], page_size=512)
+        old.put(PID, b"old", 0)
+        new = LocalFilePageStore([tmp_path], page_size=1024)
+        assert new.recover(0) == []
+
+    def test_multi_root(self, tmp_path):
+        roots = [tmp_path / "ssd0", tmp_path / "ssd1"]
+        store = LocalFilePageStore(roots, page_size=1024)
+        store.put(PID, b"a", 0)
+        store.put(PID, b"bb", 1)
+        assert store.get(PID, 0) == b"a"
+        assert store.get(PID, 1) == b"bb"
+        assert store.bytes_used(1) == 2
+
+    def test_empty_roots_rejected(self):
+        with pytest.raises(ValueError):
+            LocalFilePageStore([], page_size=1024)
+
+    def test_crc_sidecar_content(self, tmp_path):
+        store = LocalFilePageStore([tmp_path], page_size=1024)
+        store.put(PID, b"payload", 0)
+        crc = next(tmp_path.glob("page_size=1024/bucket=*/file=*/3.crc"))
+        assert int.from_bytes(crc.read_bytes(), "big") == zlib.crc32(b"payload")
+
+
+def make_sim_store(**fault_kwargs):
+    clock = SimClock()
+    device = StorageDevice(DeviceProfile.ssd_local(), clock)
+    return SimulatedSsdPageStore(device, FaultPlan(**fault_kwargs)), clock
+
+
+class TestSimulatedSsdPageStore:
+    def test_roundtrip_and_latency(self):
+        store, __ = make_sim_store()
+        store.put(PID, b"x" * 1024, 0)
+        assert store.last_op_latency > 0
+        data = store.get(PID, 0)
+        assert data == b"x" * 1024
+        assert store.last_op_latency > 0
+        assert store.bytes_used(0) == 1024
+
+    def test_missing_raises(self):
+        store, __ = make_sim_store()
+        with pytest.raises(PageNotFoundError):
+            store.get(PID, 0)
+
+    def test_injected_corruption(self):
+        store, __ = make_sim_store()
+        store.put(PID, b"abc", 0)
+        store.corrupt(PID)
+        with pytest.raises(PageCorruptedError):
+            store.get(PID, 0)
+        # delete clears the fault marker
+        store.delete(PID, 0)
+        store.put(PID, b"abc", 0)
+        assert store.get(PID, 0) == b"abc"
+
+    def test_read_hang_exceeds_timeout(self):
+        store, __ = make_sim_store(hang_reads_seconds=600.0)
+        store.put(PID, b"abc", 0)
+        with pytest.raises(CacheReadTimeoutError):
+            store.get(PID, 0, timeout=10.0)
+
+    def test_hang_without_timeout_budget_returns(self):
+        store, __ = make_sim_store(hang_reads_seconds=600.0)
+        store.put(PID, b"abc", 0)
+        assert store.get(PID, 0) == b"abc"
+        assert store.last_op_latency >= 600.0
+
+    def test_physical_full(self):
+        store, __ = make_sim_store(physical_full_after_bytes=10)
+        store.put(PID, b"12345678", 0)
+        with pytest.raises(NoSpaceLeftError):
+            store.put(PageId("g", 0), b"123", 0)
+        # freeing space lets the put succeed
+        store.delete(PID, 0)
+        store.put(PageId("g", 0), b"123", 0)

@@ -1,0 +1,54 @@
+"""Property test: quota compliance is an invariant of the cache manager.
+
+Whatever mix of puts across partitions occurs, every configured quota level
+holds afterwards (the put either fit after eviction or was rejected).
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CacheConfig,
+    CacheScope,
+    LocalCacheManager,
+    PageId,
+    QuotaManager,
+)
+
+PAGE = 64
+TABLE = CacheScope.for_table("s", "t")
+PARTS = [TABLE.child(f"p{i}") for i in range(3)]
+OTHER_TABLE = CacheScope.for_table("s", "u")
+
+
+@settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    puts=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),  # partition (3 = other table)
+            st.integers(min_value=0, max_value=40),  # file number
+            st.integers(min_value=0, max_value=7),   # page index
+            st.integers(min_value=1, max_value=PAGE),  # size
+        ),
+        max_size=80,
+    ),
+    table_quota=st.integers(min_value=2, max_value=12),
+    part_quota=st.integers(min_value=1, max_value=10),
+)
+def test_quota_levels_always_hold(puts, table_quota, part_quota):
+    quota = QuotaManager()
+    quota.set_quota(TABLE, table_quota * PAGE)
+    for part in PARTS:
+        quota.set_quota(part, part_quota * PAGE)
+    cache = LocalCacheManager(
+        CacheConfig.small(64 * PAGE, page_size=PAGE), quota=quota
+    )
+    for part_n, file_n, index, size in puts:
+        scope = PARTS[part_n] if part_n < 3 else OTHER_TABLE
+        cache.put_page(PageId(f"f{file_n}", index), b"x" * size, scope=scope)
+        # invariant: every configured level is within its quota
+        assert cache.scope_usage(TABLE) <= table_quota * PAGE
+        for part in PARTS:
+            assert cache.scope_usage(part) <= part_quota * PAGE
+        # the unconfigured table is only bounded by capacity
+        assert cache.bytes_used <= cache.capacity_bytes

@@ -1,0 +1,111 @@
+"""Tests for the Count-Min sketch and TinyLFU-style admission."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.admission.tinylfu import CountMinSketch, TinyLfuAdmission
+from repro.core.scope import CacheScope
+
+
+class TestCountMinSketch:
+    def test_basic_counting(self):
+        sketch = CountMinSketch()
+        for __ in range(5):
+            sketch.increment("hot")
+        sketch.increment("cold")
+        assert sketch.estimate("hot") >= 5
+        assert sketch.estimate("cold") >= 1
+        assert sketch.estimate("never") >= 0
+
+    def test_never_undercounts(self):
+        sketch = CountMinSketch(width=64, depth=3)  # tiny: forced collisions
+        true_counts: dict[str, int] = {}
+        for n in range(500):
+            key = f"k{n % 50}"
+            sketch.increment(key)
+            true_counts[key] = true_counts.get(key, 0) + 1
+        for key, count in true_counts.items():
+            assert sketch.estimate(key) >= count
+
+    def test_aging_halves(self):
+        sketch = CountMinSketch()
+        for __ in range(8):
+            sketch.increment("k")
+        sketch.age()
+        assert sketch.estimate("k") == 4
+        assert sketch.total_increments == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(width=0)
+        with pytest.raises(ValueError):
+            CountMinSketch(depth=0)
+        with pytest.raises(ValueError):
+            CountMinSketch().increment("k", 0)
+
+    @given(
+        keys=st.lists(
+            st.sampled_from([f"k{i}" for i in range(20)]), max_size=300
+        )
+    )
+    def test_no_undercount_property(self, keys):
+        sketch = CountMinSketch(width=128, depth=4)
+        true_counts: dict[str, int] = {}
+        for key in keys:
+            sketch.increment(key)
+            true_counts[key] = true_counts.get(key, 0) + 1
+        for key, count in true_counts.items():
+            assert sketch.estimate(key) >= count
+
+
+class TestTinyLfuAdmission:
+    def test_threshold_crossing(self):
+        policy = TinyLfuAdmission(threshold=3, sketch=CountMinSketch(width=1 << 14))
+        assert not policy.record_and_check("b")
+        assert not policy.record_and_check("b")
+        assert policy.record_and_check("b")
+
+    def test_admission_protocol(self):
+        policy = TinyLfuAdmission(threshold=2)
+        scope = CacheScope.global_scope()
+        assert not policy.admit("f", scope, 0.0)
+        assert policy.admit("f", scope, 1.0)
+
+    def test_aging_resets_hotness(self):
+        policy = TinyLfuAdmission(threshold=4, age_every=10)
+        for __ in range(3):
+            policy.record_and_check("k")  # count 3, below threshold
+        for n in range(10):
+            policy.record_and_check(f"noise-{n}")  # triggers aging
+        # k's count halved to 1; it must re-earn admission
+        assert not policy.record_and_check("k")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TinyLfuAdmission(threshold=0)
+        with pytest.raises(ValueError):
+            TinyLfuAdmission(age_every=0)
+
+    def test_fixed_memory_vs_exact_window(self):
+        """The point of the sketch: memory does not grow with the keyset."""
+        policy = TinyLfuAdmission(threshold=2, sketch=CountMinSketch(width=256))
+        for n in range(10_000):
+            policy.record_and_check(f"one-shot-{n}")
+        assert policy.sketch._counters.size == 256 * 4
+
+    def test_works_as_cache_admission(self):
+        from repro.core import CacheConfig, LocalCacheManager
+        from repro.storage.remote import NullDataSource
+
+        source = NullDataSource()
+        source.add_file("hot", 1 << 16)
+        cache = LocalCacheManager(
+            CacheConfig.small(1 << 20, page_size=1 << 14),
+            admission=TinyLfuAdmission(threshold=3),
+        )
+        for __ in range(2):
+            cache.read("hot", 0, 1024, source)
+        assert cache.page_count == 0
+        cache.read("hot", 0, 1024, source)  # third access: admitted
+        assert cache.page_count == 1

@@ -1,0 +1,81 @@
+"""Tests for version-qualified cache coherence (Section 6.1.1)."""
+
+import pytest
+
+from repro.core import CacheConfig, LocalCacheManager
+from repro.core.versioning import VersionedFileId, invalidate_stale_versions
+from repro.storage.remote import SyntheticDataSource
+
+KIB = 1024
+
+
+class TestVersionedFileId:
+    def test_str_parse_roundtrip(self):
+        vid = VersionedFileId("wh/orders/part-0", 1700000000)
+        assert str(vid) == "wh/orders/part-0@v1700000000"
+        assert VersionedFileId.parse(str(vid)) == vid
+
+    def test_parse_rejects_unversioned(self):
+        with pytest.raises(ValueError):
+            VersionedFileId.parse("plain/path")
+        with pytest.raises(ValueError):
+            VersionedFileId.parse("path@vnotanumber")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VersionedFileId("", 1)
+        with pytest.raises(ValueError):
+            VersionedFileId("a@vb", 1)
+        with pytest.raises(ValueError):
+            VersionedFileId("a", -1)
+
+    def test_successor(self):
+        vid = VersionedFileId("f", 10)
+        assert vid.successor(11).version == 11
+        with pytest.raises(ValueError):
+            vid.successor(10)
+
+
+class TestCoherence:
+    def _setup(self):
+        source = SyntheticDataSource(base_latency=0.0, bandwidth=1e12)
+        cache = LocalCacheManager(CacheConfig.small(1 << 20, page_size=4 * KIB))
+        return cache, source
+
+    def test_new_version_misses_naturally(self):
+        """The core coherence property: a changed file's new version is a
+        different cache identity, so readers never see stale bytes."""
+        cache, source = self._setup()
+        v1 = VersionedFileId("wh/t/part-0", 1)
+        v2 = v1.successor(2)
+        source.add_file(str(v1), 16 * KIB)
+        source.add_file(str(v2), 16 * KIB)
+        old = cache.read(str(v1), 0, 1024, source)
+        new = cache.read(str(v2), 0, 1024, source)
+        assert new.page_misses > 0  # no stale hit
+        assert new.data != old.data  # genuinely different content identity
+
+    def test_eager_invalidation_frees_old_versions(self):
+        cache, source = self._setup()
+        v1 = VersionedFileId("wh/t/part-0", 1)
+        v2 = v1.successor(2)
+        other = VersionedFileId("wh/t/part-1", 1)
+        for vid in (v1, v2, other):
+            source.add_file(str(vid), 8 * KIB)
+            cache.read(str(vid), 0, 8 * KIB, source)
+        removed = invalidate_stale_versions(cache, v2)
+        assert removed == 2  # both pages of v1
+        assert cache.metastore.pages_of_file(str(v1)) == []
+        # the current version and unrelated files survive
+        assert len(cache.metastore.pages_of_file(str(v2))) == 2
+        assert len(cache.metastore.pages_of_file(str(other))) == 2
+
+    def test_unversioned_entries_untouched(self):
+        cache, source = self._setup()
+        source.add_file("legacy/file", 4 * KIB)
+        cache.read("legacy/file", 0, 4 * KIB, source)
+        removed = invalidate_stale_versions(
+            cache, VersionedFileId("legacy/file", 5)
+        )
+        assert removed == 0
+        assert len(cache.metastore.pages_of_file("legacy/file")) == 1

@@ -1,0 +1,118 @@
+"""Tests for the columnar schema, codecs, and footer metadata."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import FormatError
+from repro.format.columnar import (
+    ColumnChunkMeta,
+    ColumnType,
+    FileMetadata,
+    RowGroupMeta,
+    Schema,
+    decode_column,
+    encode_column,
+)
+
+
+class TestSchema:
+    def test_of_helper(self):
+        schema = Schema.of(user_id="int64", amount="float64", city="string")
+        assert schema.column_names == ["user_id", "amount", "city"]
+        assert schema.column_type("amount") is ColumnType.FLOAT64
+        assert schema.index_of("city") == 2
+
+    def test_unknown_column(self):
+        schema = Schema.of(a="int64")
+        with pytest.raises(KeyError):
+            schema.column_type("b")
+        with pytest.raises(KeyError):
+            schema.index_of("b")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Schema(())
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Schema((("a", ColumnType.INT64), ("a", ColumnType.STRING)))
+
+    def test_json_roundtrip(self):
+        schema = Schema.of(a="int64", b="string")
+        assert Schema.from_json(schema.to_json()) == schema
+
+
+class TestCodecs:
+    @pytest.mark.parametrize(
+        "column_type, values",
+        [
+            (ColumnType.INT64, [0, 1, -5, 2**62, -(2**62)]),
+            (ColumnType.FLOAT64, [0.0, -1.5, 3.14159, 1e300]),
+            (ColumnType.STRING, ["", "hello", "unicode éà", "x" * 1000]),
+        ],
+    )
+    def test_roundtrip(self, column_type, values):
+        blob = encode_column(values, column_type)
+        assert decode_column(blob, column_type, len(values)) == values
+
+    def test_int64_wrong_length(self):
+        with pytest.raises(FormatError):
+            decode_column(b"\x00" * 7, ColumnType.INT64, 1)
+
+    def test_float64_wrong_length(self):
+        with pytest.raises(FormatError):
+            decode_column(b"\x00" * 9, ColumnType.FLOAT64, 1)
+
+    def test_string_truncated(self):
+        blob = encode_column(["hello"], ColumnType.STRING)
+        with pytest.raises(FormatError):
+            decode_column(blob[:-1], ColumnType.STRING, 1)
+
+    def test_string_trailing_garbage(self):
+        blob = encode_column(["a"], ColumnType.STRING) + b"junk"
+        with pytest.raises(FormatError):
+            decode_column(blob, ColumnType.STRING, 1)
+
+    @given(values=st.lists(st.integers(min_value=-(2**63), max_value=2**63 - 1),
+                           max_size=50))
+    def test_int64_roundtrip_property(self, values):
+        blob = encode_column(values, ColumnType.INT64)
+        assert decode_column(blob, ColumnType.INT64, len(values)) == values
+
+    @given(values=st.lists(st.text(max_size=20), max_size=30))
+    def test_string_roundtrip_property(self, values):
+        blob = encode_column(values, ColumnType.STRING)
+        assert decode_column(blob, ColumnType.STRING, len(values)) == values
+
+
+class TestFileMetadata:
+    def test_roundtrip(self):
+        schema = Schema.of(a="int64")
+        metadata = FileMetadata(
+            schema=schema,
+            row_groups=(
+                RowGroupMeta(
+                    row_count=10,
+                    chunks=(
+                        ColumnChunkMeta("a", offset=0, length=80,
+                                        min_value=1, max_value=9),
+                    ),
+                ),
+            ),
+            total_rows=10,
+        )
+        restored = FileMetadata.from_bytes(metadata.to_bytes())
+        assert restored == metadata
+        assert restored.row_groups[0].chunk_for("a").min_value == 1
+
+    def test_bad_footer_raises(self):
+        with pytest.raises(FormatError):
+            FileMetadata.from_bytes(b"not json")
+        with pytest.raises(FormatError):
+            FileMetadata.from_bytes(b'{"schema": []}')
+
+    def test_chunk_for_unknown_column(self):
+        group = RowGroupMeta(row_count=1, chunks=())
+        with pytest.raises(KeyError):
+            group.chunk_for("missing")

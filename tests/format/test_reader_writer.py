@@ -1,0 +1,187 @@
+"""Tests for the columnar writer/reader pair, pushdown, and cache path."""
+
+import pytest
+
+from repro.core import CacheConfig, LocalCacheManager
+from repro.errors import FormatError
+from repro.format import (
+    ColumnarReader,
+    ColumnarWriter,
+    Predicate,
+    ScanStatistics,
+    Schema,
+    cache_range_reader,
+    source_range_reader,
+    write_table,
+)
+from repro.storage.object_store import ObjectStore
+from repro.storage.remote import ObjectStoreDataSource
+
+SCHEMA = Schema.of(user_id="int64", amount="float64", city="string")
+ROWS = [[i, i * 1.5, f"city{i % 3}"] for i in range(100)]
+
+
+def blob_reader(blob: bytes):
+    return lambda offset, length: blob[offset : offset + length]
+
+
+def make_reader(blob: bytes, **kwargs) -> ColumnarReader:
+    return ColumnarReader(blob_reader(blob), len(blob), **kwargs)
+
+
+class TestWriter:
+    def test_magic_and_structure(self):
+        blob = write_table(SCHEMA, ROWS, rows_per_group=32)
+        assert blob.endswith(b"RPQ1")
+        metadata = make_reader(blob).metadata()
+        assert metadata.total_rows == 100
+        assert len(metadata.row_groups) == 4  # ceil(100/32)
+        assert metadata.row_groups[0].row_count == 32
+        assert metadata.row_groups[-1].row_count == 4
+
+    def test_row_arity_checked(self):
+        writer = ColumnarWriter(SCHEMA)
+        with pytest.raises(ValueError):
+            writer.append([1, 2.0])
+
+    def test_double_finish_rejected(self):
+        writer = ColumnarWriter(SCHEMA)
+        writer.append([1, 1.0, "a"])
+        writer.finish()
+        with pytest.raises(RuntimeError):
+            writer.finish()
+        with pytest.raises(RuntimeError):
+            writer.append([2, 2.0, "b"])
+
+    def test_bad_rows_per_group(self):
+        with pytest.raises(ValueError):
+            ColumnarWriter(SCHEMA, rows_per_group=0)
+
+    def test_min_max_statistics(self):
+        blob = write_table(SCHEMA, ROWS, rows_per_group=50)
+        metadata = make_reader(blob).metadata()
+        first_chunk = metadata.row_groups[0].chunk_for("user_id")
+        assert first_chunk.min_value == 0
+        assert first_chunk.max_value == 49
+
+
+class TestReaderScan:
+    def test_full_scan(self):
+        blob = write_table(SCHEMA, ROWS, rows_per_group=32)
+        rows = make_reader(blob).scan(["user_id", "city"])
+        assert len(rows) == 100
+        assert rows[0] == {"user_id": 0, "city": "city0"}
+        assert rows[99] == {"user_id": 99, "city": "city0"}
+
+    def test_projection_only_reads_projected_chunks(self):
+        blob = write_table(SCHEMA, ROWS, rows_per_group=100)
+        reader = make_reader(blob)
+        reader.scan(["user_id"])
+        # footer tail + footer body + 1 chunk
+        assert reader.stats.requests == 3
+
+    def test_predicate_filters_rows(self):
+        blob = write_table(SCHEMA, ROWS, rows_per_group=32)
+        rows = make_reader(blob).scan(
+            ["user_id"], predicate=Predicate("user_id", "<", 10)
+        )
+        assert [r["user_id"] for r in rows] == list(range(10))
+
+    def test_predicate_pushdown_prunes_row_groups(self):
+        blob = write_table(SCHEMA, ROWS, rows_per_group=25)
+        reader = make_reader(blob)
+        rows = reader.scan(["amount"], predicate=Predicate("user_id", ">=", 80))
+        assert len(rows) == 20
+        assert reader.stats.row_groups_total == 4
+        assert reader.stats.row_groups_pruned == 3  # groups 0-2 excluded
+        assert reader.stats.rows_scanned == 25  # only the last group decoded
+
+    def test_equality_pushdown(self):
+        blob = write_table(SCHEMA, ROWS, rows_per_group=25)
+        reader = make_reader(blob)
+        rows = reader.scan(["user_id"], predicate=Predicate("user_id", "==", 30))
+        assert [r["user_id"] for r in rows] == [30]
+        assert reader.stats.row_groups_pruned == 3
+
+    def test_unknown_column_raises(self):
+        blob = write_table(SCHEMA, ROWS)
+        with pytest.raises(KeyError):
+            make_reader(blob).scan(["nope"])
+
+    def test_unsupported_predicate_op(self):
+        with pytest.raises(ValueError):
+            Predicate("a", "!=", 1)
+
+    def test_truncated_file_raises(self):
+        blob = write_table(SCHEMA, ROWS)
+        with pytest.raises(FormatError):
+            make_reader(blob[:3]).metadata()
+
+    def test_bad_magic_raises(self):
+        blob = write_table(SCHEMA, ROWS)[:-4] + b"XXXX"
+        with pytest.raises(FormatError):
+            make_reader(blob).metadata()
+
+    def test_fragmented_request_sizes(self):
+        """The access pattern the paper describes: small disparate reads."""
+        blob = write_table(SCHEMA, ROWS, rows_per_group=10)
+        reader = make_reader(blob)
+        reader.scan(["user_id"])
+        chunk_requests = reader.stats.request_sizes[2:]  # skip footer reads
+        assert len(chunk_requests) == 10
+        assert all(size == 80 for size in chunk_requests)  # 10 rows * 8 bytes
+
+
+class TestMetadataCache:
+    def test_cache_skips_footer_io_and_parse(self):
+        blob = write_table(SCHEMA, ROWS, rows_per_group=50)
+        shared_cache: dict = {}
+        first = make_reader(blob, metadata_cache=shared_cache, cache_key="f")
+        first.metadata()
+        assert first.stats.metadata_parses == 1
+        second = make_reader(blob, metadata_cache=shared_cache, cache_key="f")
+        second.metadata()
+        assert second.stats.metadata_parses == 0
+        assert second.stats.metadata_cache_hits == 1
+        assert second.stats.requests == 0  # no footer I/O at all
+
+
+class TestRangeReaderAdapters:
+    def _object_source(self, blob):
+        store = ObjectStore()
+        store.put_object("f", blob)
+        return ObjectStoreDataSource(store)
+
+    def test_source_adapter_charges_latency(self):
+        blob = write_table(SCHEMA, ROWS, rows_per_group=50)
+        source = self._object_source(blob)
+        stats = ScanStatistics()
+        reader = ColumnarReader(
+            source_range_reader(source, "f", stats), len(blob), stats=stats
+        )
+        rows = reader.scan(["user_id"])
+        assert len(rows) == 100
+        assert stats.latency > 0
+
+    def test_cache_adapter_end_to_end(self):
+        """The Figure 7 path: reader -> local cache -> object store."""
+        blob = write_table(SCHEMA, ROWS, rows_per_group=50)
+        source = self._object_source(blob)
+        cache = LocalCacheManager(CacheConfig.small(1 << 20, page_size=4096))
+        cold_stats = ScanStatistics()
+        cold = ColumnarReader(
+            cache_range_reader(cache, source, "f", cold_stats),
+            len(blob),
+            stats=cold_stats,
+        )
+        cold_rows = cold.scan(["user_id", "amount"])
+        warm_stats = ScanStatistics()
+        warm = ColumnarReader(
+            cache_range_reader(cache, source, "f", warm_stats),
+            len(blob),
+            stats=warm_stats,
+        )
+        warm_rows = warm.scan(["user_id", "amount"])
+        assert warm_rows == cold_rows
+        assert warm_stats.latency < cold_stats.latency
+        assert cache.metrics.counter("get_hits").value > 0

@@ -1,0 +1,129 @@
+"""Tests for the FUSE-like cached filesystem."""
+
+import os
+
+import pytest
+
+from repro.core import CacheConfig, CacheScope, LocalCacheManager
+from repro.errors import FileNotFoundInStorageError
+from repro.fuse import CachedFileSystem
+from repro.storage.remote import SyntheticDataSource
+
+KIB = 1024
+
+
+def make_fs(scope_fn=None):
+    source = SyntheticDataSource(base_latency=0.01, bandwidth=1e9)
+    source.add_file("data/train/shard-0", 64 * KIB)
+    source.add_file("data/train/shard-1", 32 * KIB)
+    source.add_file("data/val/shard-0", 16 * KIB)
+    cache = LocalCacheManager(CacheConfig.small(1 << 20, page_size=4 * KIB))
+    return CachedFileSystem(cache, source, scope_fn=scope_fn), source
+
+
+class TestStatAndListing:
+    def test_stat(self):
+        fs, __ = make_fs()
+        stat = fs.stat("data/train/shard-0")
+        assert stat.size == 64 * KIB
+        assert stat.path == "data/train/shard-0"
+
+    def test_stat_missing_raises(self):
+        fs, __ = make_fs()
+        with pytest.raises(FileNotFoundInStorageError):
+            fs.stat("nope")
+
+    def test_exists(self):
+        fs, __ = make_fs()
+        assert fs.exists("data/val/shard-0")
+        assert not fs.exists("data/val/shard-9")
+
+    def test_listdir(self):
+        fs, __ = make_fs()
+        assert fs.listdir("data/train") == ["data/train/shard-0", "data/train/shard-1"]
+        assert fs.listdir("data") == [
+            "data/train/shard-0", "data/train/shard-1", "data/val/shard-0",
+        ]
+
+
+class TestHandleSemantics:
+    def test_sequential_reads_advance_position(self):
+        fs, source = make_fs()
+        with fs.open("data/train/shard-0") as handle:
+            first = handle.read(100)
+            second = handle.read(100)
+        direct = source.read("data/train/shard-0", 0, 200).data
+        assert first + second == direct
+        assert len(first) == 100
+
+    def test_read_whole_remainder(self):
+        fs, __ = make_fs()
+        with fs.open("data/val/shard-0") as handle:
+            handle.seek(16 * KIB - 10)
+            tail = handle.read()
+        assert len(tail) == 10
+
+    def test_pread_does_not_move_position(self):
+        fs, __ = make_fs()
+        with fs.open("data/train/shard-0") as handle:
+            handle.read(50)
+            handle.pread(1000, 10)
+            assert handle.tell() == 50
+
+    def test_seek_whences(self):
+        fs, __ = make_fs()
+        handle = fs.open("data/train/shard-0")
+        assert handle.seek(100) == 100
+        assert handle.seek(10, os.SEEK_CUR) == 110
+        assert handle.seek(-10, os.SEEK_END) == 64 * KIB - 10
+        with pytest.raises(ValueError):
+            handle.seek(-1)
+        with pytest.raises(ValueError):
+            handle.seek(0, whence=99)
+
+    def test_closed_handle_rejects_io(self):
+        fs, __ = make_fs()
+        handle = fs.open("data/train/shard-0")
+        handle.close()
+        with pytest.raises(ValueError):
+            handle.read(1)
+        with pytest.raises(ValueError):
+            handle.seek(0)
+
+    def test_handle_accounting(self):
+        fs, __ = make_fs()
+        with fs.open("data/train/shard-0") as handle:
+            handle.read(100)
+            assert handle.bytes_read == 100
+            assert handle.total_latency > 0
+
+
+class TestCaching:
+    def test_warm_reads_hit_cache(self):
+        fs, __ = make_fs()
+        fs.read_file("data/val/shard-0")
+        hits_before = fs.cache.metrics.counter("get_hits").value
+        fs.read_file("data/val/shard-0")
+        assert fs.cache.metrics.counter("get_hits").value > hits_before
+
+    def test_warm_read_is_faster(self):
+        fs, __ = make_fs()
+        with fs.open("data/val/shard-0") as handle:
+            handle.read()
+            cold = handle.total_latency
+        with fs.open("data/val/shard-0") as handle:
+            handle.read()
+            warm = handle.total_latency
+        assert warm < cold
+
+    def test_scope_tagging(self):
+        scope = CacheScope.for_table("datasets", "train")
+        fs, __ = make_fs(scope_fn=lambda path: scope)
+        fs.read_file("data/train/shard-1")
+        assert fs.cache.scope_usage(scope) > 0
+
+    def test_contents_match_source(self):
+        fs, source = make_fs()
+        via_fs = fs.read_file("data/train/shard-1")
+        direct = source.read("data/train/shard-1", 0, 32 * KIB).data
+        assert via_fs == direct

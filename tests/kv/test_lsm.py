@@ -1,0 +1,231 @@
+"""Tests for the LSM key-value store (the RocksDB stand-in)."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kv import KvStore, LsmKvStore, MemoryKvStore
+
+
+class TestMemoryKvStore:
+    def test_basics(self):
+        store = MemoryKvStore()
+        store.put("a", 1)
+        assert store.get("a") == 1
+        assert "a" in store
+        assert len(store) == 1
+        assert store.delete("a")
+        assert not store.delete("a")
+        assert store.get("a", "fallback") == "fallback"
+
+    def test_satisfies_protocol(self):
+        assert isinstance(MemoryKvStore(), KvStore)
+
+
+class TestLsmBasics:
+    def test_put_get_delete(self, tmp_path):
+        with LsmKvStore(tmp_path) as store:
+            store.put("a", {"x": 1})
+            store.put("b", [1, 2, 3])
+            assert store.get("a") == {"x": 1}
+            assert store.get("b") == [1, 2, 3]
+            assert store.delete("a")
+            assert store.get("a") is None
+            assert "a" not in store
+            assert len(store) == 1
+
+    def test_none_value_rejected(self, tmp_path):
+        with LsmKvStore(tmp_path) as store:
+            with pytest.raises(ValueError):
+                store.put("a", None)
+
+    def test_bad_limit(self, tmp_path):
+        with pytest.raises(ValueError):
+            LsmKvStore(tmp_path, memtable_limit=0)
+
+    def test_overwrite(self, tmp_path):
+        with LsmKvStore(tmp_path) as store:
+            store.put("a", 1)
+            store.put("a", 2)
+            assert store.get("a") == 2
+            assert len(store) == 1
+
+    def test_items_sorted(self, tmp_path):
+        with LsmKvStore(tmp_path) as store:
+            for key in ("c", "a", "b"):
+                store.put(key, key.upper())
+            assert list(store.items()) == [("a", "A"), ("b", "B"), ("c", "C")]
+            assert store.keys() == ["a", "b", "c"]
+
+    def test_satisfies_protocol(self, tmp_path):
+        with LsmKvStore(tmp_path) as store:
+            assert isinstance(store, KvStore)
+
+
+class TestDurability:
+    def test_wal_replay_on_reopen(self, tmp_path):
+        store = LsmKvStore(tmp_path)
+        store.put("a", 1)
+        store.put("b", 2)
+        store.close()  # no flush happened: data lives only in the WAL
+        reopened = LsmKvStore(tmp_path)
+        assert reopened.get("a") == 1
+        assert reopened.get("b") == 2
+        reopened.close()
+
+    def test_torn_wal_tail_tolerated(self, tmp_path):
+        store = LsmKvStore(tmp_path)
+        store.put("a", 1)
+        store.close()
+        with open(tmp_path / "wal.log", "a") as handle:
+            handle.write('{"k": "b", "v"')  # crash mid-record
+        reopened = LsmKvStore(tmp_path)
+        assert reopened.get("a") == 1
+        assert reopened.get("b") is None
+        reopened.close()
+
+    def test_sstables_survive_reopen(self, tmp_path):
+        store = LsmKvStore(tmp_path, memtable_limit=4)
+        for n in range(10):
+            store.put(f"k{n}", n)
+        store.close()
+        reopened = LsmKvStore(tmp_path, memtable_limit=4)
+        assert reopened.sstable_count >= 2
+        for n in range(10):
+            assert reopened.get(f"k{n}") == n
+        reopened.close()
+
+    def test_delete_shadows_flushed_entry(self, tmp_path):
+        store = LsmKvStore(tmp_path, memtable_limit=2)
+        store.put("a", 1)
+        store.put("b", 2)  # flush: a and b in SSTable
+        store.delete("a")
+        store.close()
+        reopened = LsmKvStore(tmp_path, memtable_limit=2)
+        assert reopened.get("a") is None
+        assert reopened.get("b") == 2
+        reopened.close()
+
+
+class TestFlushAndCompaction:
+    def test_flush_truncates_wal(self, tmp_path):
+        store = LsmKvStore(tmp_path)
+        store.put("a", 1)
+        assert (tmp_path / "wal.log").stat().st_size > 0
+        store.flush()
+        assert (tmp_path / "wal.log").stat().st_size == 0
+        assert store.get("a") == 1
+        store.close()
+
+    def test_flush_empty_is_noop(self, tmp_path):
+        store = LsmKvStore(tmp_path)
+        assert store.flush() is None
+        store.close()
+
+    def test_newest_sstable_shadows_oldest(self, tmp_path):
+        store = LsmKvStore(tmp_path)
+        store.put("a", "old")
+        store.flush()
+        store.put("a", "new")
+        store.flush()
+        assert store.sstable_count == 2
+        assert store.get("a") == "new"
+        store.close()
+
+    def test_compaction_merges_and_drops(self, tmp_path):
+        store = LsmKvStore(tmp_path, memtable_limit=2)
+        for n in range(8):
+            store.put(f"k{n}", n)
+        store.delete("k0")
+        store.put("k1", "updated")
+        live = store.compact()
+        assert live == 7
+        assert store.sstable_count == 1
+        assert store.get("k0") is None
+        assert store.get("k1") == "updated"
+        # compacted table holds no tombstones
+        table = next(tmp_path.glob("sstable-*.sst"))
+        records = [json.loads(l) for l in table.read_text().splitlines()]
+        assert all(r["v"] is not None for r in records)
+        store.close()
+
+    def test_compact_everything_deleted(self, tmp_path):
+        store = LsmKvStore(tmp_path, memtable_limit=2)
+        store.put("a", 1)
+        store.put("b", 2)
+        store.delete("a")
+        store.delete("b")
+        assert store.compact() == 0
+        assert store.sstable_count == 0
+        assert len(store) == 0
+        store.close()
+
+
+@settings(max_examples=25)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["put", "delete", "flush"]),
+            st.integers(min_value=0, max_value=12),
+            st.integers(min_value=0, max_value=99),
+        ),
+        max_size=60,
+    )
+)
+def test_lsm_matches_dict_model(tmp_path_factory, ops):
+    """Property: the LSM store behaves exactly like a dict, across flushes
+    and a reopen."""
+    root = tmp_path_factory.mktemp("lsm")
+    model: dict[str, int] = {}
+    with LsmKvStore(root, memtable_limit=5) as store:
+        for op, key_n, value in ops:
+            key = f"k{key_n}"
+            if op == "put":
+                store.put(key, value)
+                model[key] = value
+            elif op == "delete":
+                assert store.delete(key) == (key in model)
+                model.pop(key, None)
+            else:
+                store.flush()
+        for key in [f"k{n}" for n in range(13)]:
+            assert store.get(key) == model.get(key)
+        assert store.keys() == sorted(model)
+    with LsmKvStore(root, memtable_limit=5) as reopened:
+        assert dict(reopened.items()) == model
+
+
+class TestMetadataCacheBacking:
+    def test_refill_from_backing_after_clear(self, tmp_path):
+        """The production scenario: worker restarts, in-memory metadata is
+        gone, the RocksDB tier refills it without re-parsing files."""
+        from repro.presto.metadata_cache import MetadataCache
+
+        with LsmKvStore(tmp_path) as backing:
+            cache = MetadataCache(capacity=100, backing=backing)
+            cache.put("file-1@v1", {"schema": ["a", "b"]})
+            cache.clear()  # simulate process restart
+            assert cache.get("file-1@v1") == {"schema": ["a", "b"]}
+            assert cache.backing_hits == 1
+
+    def test_lru_eviction_recoverable(self, tmp_path):
+        from repro.presto.metadata_cache import MetadataCache
+
+        with LsmKvStore(tmp_path) as backing:
+            cache = MetadataCache(capacity=1, backing=backing)
+            cache.put("a", 1)
+            cache.put("b", 2)  # evicts a from memory
+            assert cache.get("a") == 1  # refilled from backing
+            assert cache.backing_hits == 1
+
+    def test_invalidate_reaches_backing(self, tmp_path):
+        from repro.presto.metadata_cache import MetadataCache
+
+        with LsmKvStore(tmp_path) as backing:
+            cache = MetadataCache(backing=backing)
+            cache.put("a", 1)
+            assert cache.invalidate("a")
+            cache.clear()
+            assert cache.get("a") is None

@@ -1,0 +1,101 @@
+"""Tests for the cache-onboarding advisor."""
+
+import pytest
+
+from repro.core.admission import CacheFilter
+from repro.core.scope import CacheScope
+from repro.presto.advisor import recommend, to_filter_rules
+from repro.presto.runtime_stats import QueryRuntimeStats, RuntimeStatsAggregator
+
+
+def record_query(aggregator, table, partitions, bytes_scanned=1000, query_id="q"):
+    stats = QueryRuntimeStats(query_id=query_id)
+    stats.tables = [table]
+    stats.partitions = list(partitions)
+    stats.bytes_from_remote = bytes_scanned
+    aggregator.record(stats)
+
+
+@pytest.fixture()
+def aggregator():
+    agg = RuntimeStatsAggregator()
+    # hot table: 10 queries hammering two of its partitions
+    for n in range(10):
+        record_query(agg, "wh.hot", [f"wh.hot/ds={n % 2}"], bytes_scanned=10_000,
+                     query_id=f"hot-{n}")
+    # cold table: a single query
+    record_query(agg, "wh.cold", ["wh.cold/ds=0"], query_id="cold-0")
+    # scan-once table: many queries, never the same partition twice
+    for n in range(8):
+        record_query(agg, "wh.scanonce", [f"wh.scanonce/ds={n}"],
+                     bytes_scanned=5_000, query_id=f"scan-{n}")
+    return agg
+
+
+class TestRecommend:
+    def test_hot_table_onboarded_with_partition_cap(self, aggregator):
+        recs = {r.table: r for r in recommend(aggregator)}
+        hot = recs["wh.hot"]
+        assert hot.admit
+        assert hot.max_cached_partitions == 2  # its working set
+        assert "hot" in hot.reason
+
+    def test_cold_table_denied(self, aggregator):
+        recs = {r.table: r for r in recommend(aggregator, min_queries=5)}
+        assert not recs["wh.cold"].admit
+        assert "cold" in recs["wh.cold"].reason
+
+    def test_scan_once_denied(self, aggregator):
+        recs = {r.table: r for r in recommend(aggregator)}
+        assert not recs["wh.scanonce"].admit
+        assert "scan-once" in recs["wh.scanonce"].reason
+
+    def test_admits_sorted_hottest_first(self, aggregator):
+        recs = recommend(aggregator)
+        assert recs[0].table == "wh.hot"
+        assert recs[0].admit
+        assert not recs[-1].admit
+
+    def test_byte_threshold(self, aggregator):
+        recs = {r.table: r for r in recommend(aggregator, min_bytes=10**9)}
+        assert not recs["wh.hot"].admit
+
+    def test_coverage_validated(self, aggregator):
+        with pytest.raises(ValueError):
+            recommend(aggregator, partition_coverage=0.0)
+
+    def test_coverage_widens_cap(self):
+        agg = RuntimeStatsAggregator()
+        # one dominant partition plus a tail
+        for n in range(20):
+            record_query(agg, "wh.t", ["wh.t/ds=0"], query_id=f"a{n}")
+        for n in range(4):
+            record_query(agg, "wh.t", [f"wh.t/ds={n + 1}"], query_id=f"b{n}")
+        narrow = {r.table: r for r in recommend(agg, partition_coverage=0.8)}
+        wide = {r.table: r for r in recommend(agg, partition_coverage=1.0)}
+        assert narrow["wh.t"].max_cached_partitions < \
+            wide["wh.t"].max_cached_partitions
+
+
+class TestRuleGeneration:
+    def test_rules_feed_cache_filter(self, aggregator):
+        """The advisor's output plugs straight into the Section 5.1 filter."""
+        rules = to_filter_rules(recommend(aggregator))
+        cache_filter = CacheFilter.from_json(rules)
+        hot_scope = CacheScope.for_partition("wh", "hot", "ds=0")
+        cold_scope = CacheScope.for_partition("wh", "cold", "ds=0")
+        scanonce_scope = CacheScope.for_partition("wh", "scanonce", "ds=0")
+        assert cache_filter.admit(hot_scope)
+        assert not cache_filter.admit(cold_scope)
+        assert not cache_filter.admit(scanonce_scope)
+
+    def test_partition_cap_enforced_through_filter(self, aggregator):
+        rules = to_filter_rules(recommend(aggregator))
+        cache_filter = CacheFilter.from_json(rules)
+        table = "wh.hot"
+        for n in range(2):
+            assert cache_filter.admit(
+                CacheScope.for_partition("wh", "hot", f"ds={n}")
+            )
+        cache_filter.admit(CacheScope.for_partition("wh", "hot", "ds=99"))
+        assert len(cache_filter.admitted_partitions(table)) == 2

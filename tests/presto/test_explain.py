@@ -1,0 +1,97 @@
+"""Tests for EXPLAIN-style plan rendering and its estimates."""
+
+import pytest
+
+from repro.presto import PrestoCluster, QueryProfile, ScanProfile, TableScan
+from repro.presto.catalog import Catalog, build_table
+from repro.presto.explain import estimate, estimate_scan, explain
+from repro.storage.remote import NullDataSource
+
+MIB = 1024 * 1024
+
+
+@pytest.fixture()
+def setup():
+    catalog = Catalog()
+    table = build_table("s", "t", n_partitions=4, files_per_partition=2,
+                        file_size=2 * MIB, n_columns=8, n_row_groups=4)
+    catalog.add_table(table)
+    source = NullDataSource()
+    for __, data_file in table.all_files():
+        source.add_file(data_file.file_id, data_file.size)
+    query = QueryProfile(
+        query_id="q1",
+        scans=(
+            TableScan(table="s.t", partition_fraction=0.5,
+                      profile=ScanProfile(columns_read=4,
+                                          row_group_selectivity=0.5)),
+        ),
+        compute_seconds=1.0,
+    )
+    return catalog, source, query
+
+
+class TestEstimate:
+    def test_counts(self, setup):
+        catalog, __, query = setup
+        [est] = estimate(catalog, query, target_split_size=1 * MIB)
+        assert est.partitions == 2
+        assert est.files == 4
+        assert est.splits == 8  # 2 MiB files, 1 MiB splits
+        # per split: 2 kept groups (of 4, selectivity .5) x 4 columns
+        assert est.chunk_requests == 8 * 2 * 4
+
+    def test_estimate_matches_operator_exactly(self, setup):
+        """The estimate must equal what execution actually does."""
+        catalog, source, query = setup
+        [est] = estimate(catalog, query, target_split_size=1 * MIB)
+        cluster = PrestoCluster.create(
+            catalog, source, n_workers=2,
+            cache_capacity_bytes=64 * MIB, page_size=256 * 1024,
+            target_split_size=1 * MIB, cache_enabled=False,
+            metadata_cache_enabled=False,
+        )
+        result = cluster.coordinator.run_query(query)
+        assert result.stats.splits == est.splits
+        assert result.stats.scanned_bytes == est.bytes_scanned
+        assert source.request_count == est.chunk_requests
+
+    def test_tiny_file_single_request(self):
+        catalog = Catalog()
+        table = build_table("s", "tiny", n_partitions=1, files_per_partition=1,
+                            file_size=4, n_columns=8, n_row_groups=8)
+        catalog.add_table(table)
+        scan = TableScan(table="s.tiny", partition_fraction=1.0,
+                         profile=ScanProfile(columns_read=2,
+                                             row_group_selectivity=1.0))
+        est = estimate_scan(catalog, scan, target_split_size=1 * MIB)
+        assert est.chunk_requests == 1
+        assert est.bytes_scanned == 4
+
+
+class TestExplainText:
+    def test_render(self, setup):
+        catalog, __, query = setup
+        text = explain(catalog, query, target_split_size=1 * MIB)
+        assert "Query q1" in text
+        assert "ScanFilterProject on s.t" in text
+        assert "partitions: 2" in text
+        assert "8 splits" in text
+        assert "total:" in text
+
+    def test_multi_scan_totals(self, setup):
+        catalog, __, __ = setup
+        query = QueryProfile(
+            query_id="q2",
+            scans=(
+                TableScan(table="s.t", partition_fraction=0.25,
+                          profile=ScanProfile(columns_read=2,
+                                              row_group_selectivity=1.0)),
+                TableScan(table="s.t", partition_fraction=1.0,
+                          profile=ScanProfile(columns_read=1,
+                                              row_group_selectivity=1.0)),
+            ),
+            compute_seconds=0.5,
+        )
+        text = explain(catalog, query, target_split_size=1 * MIB)
+        assert text.count("ScanFilterProject") == 2

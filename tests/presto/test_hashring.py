@@ -1,0 +1,137 @@
+"""Tests for consistent hashing with lazy data movement."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.presto.hashring import ConsistentHashRing
+
+
+def make_ring(n=4, **kwargs) -> ConsistentHashRing:
+    ring = ConsistentHashRing(**kwargs)
+    for i in range(n):
+        ring.add_node(f"worker-{i}")
+    return ring
+
+
+class TestMembership:
+    def test_add_remove(self):
+        ring = make_ring(3)
+        assert len(ring) == 3
+        ring.remove_node("worker-0")
+        assert len(ring) == 2
+        assert "worker-0" not in ring.nodes
+        ring.remove_node("worker-0")  # idempotent
+        assert len(ring) == 2
+
+    def test_rejoin_is_noop_for_positions(self):
+        ring = make_ring(2)
+        primary_before = ring.primary("some-file")
+        ring.add_node("worker-0")  # already present
+        assert ring.primary("some-file") == primary_before
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing(virtual_nodes=0)
+        with pytest.raises(ValueError):
+            ConsistentHashRing(offline_timeout=-1)
+
+    def test_empty_ring(self):
+        ring = ConsistentHashRing()
+        assert ring.primary("f") is None
+        assert ring.candidates("f") == []
+
+
+class TestLookup:
+    def test_deterministic(self):
+        ring = make_ring()
+        assert ring.primary("file-a") == ring.primary("file-a")
+
+    def test_candidates_distinct(self):
+        ring = make_ring(4)
+        candidates = ring.candidates("file-a", max_replicas=3)
+        assert len(candidates) == 3
+        assert len(set(candidates)) == 3
+
+    def test_replica_cap_respects_cluster_size(self):
+        ring = make_ring(2)
+        assert len(ring.candidates("f", max_replicas=5)) == 2
+
+    def test_bad_replica_count(self):
+        with pytest.raises(ValueError):
+            make_ring().candidates("f", max_replicas=0)
+
+    def test_minimal_disruption_on_node_loss(self):
+        """Consistent hashing property: removing one of 8 nodes remaps only
+        a minority of keys."""
+        ring = make_ring(8)
+        keys = [f"file-{i}" for i in range(500)]
+        before = {k: ring.primary(k) for k in keys}
+        ring.remove_node("worker-3")
+        moved = sum(
+            1 for k in keys if before[k] != "worker-3" and ring.primary(k) != before[k]
+        )
+        assert moved == 0  # keys on surviving nodes do not move
+        orphans = [k for k in keys if before[k] == "worker-3"]
+        for k in orphans:
+            assert ring.primary(k) != "worker-3"
+
+    def test_reasonable_balance(self):
+        ring = make_ring(4, virtual_nodes=128)
+        counts = {f"worker-{i}": 0 for i in range(4)}
+        for i in range(4000):
+            counts[ring.primary(f"file-{i}")] += 1
+        for count in counts.values():
+            assert 0.5 * 1000 < count < 1.7 * 1000
+
+
+class TestLazyDataMovement:
+    def test_offline_node_skipped_but_seat_kept(self):
+        ring = make_ring(4)
+        keys = [f"file-{i}" for i in range(200)]
+        before = {k: ring.primary(k) for k in keys}
+        victims = [k for k in keys if before[k] == "worker-1"]
+        assert victims  # sanity
+        ring.mark_offline("worker-1", now=100.0)
+        assert not ring.is_online("worker-1")
+        assert "worker-1" in ring.nodes  # seat kept
+        for k in victims:
+            assert ring.primary(k) != "worker-1"  # traffic falls through
+
+    def test_return_within_timeout_restores_mapping(self):
+        """No data movement if the node comes back in time."""
+        ring = make_ring(4, offline_timeout=600.0)
+        before = {f"file-{i}": ring.primary(f"file-{i}") for i in range(200)}
+        ring.mark_offline("worker-1", now=0.0)
+        ring.mark_online("worker-1")
+        after = {k: ring.primary(k) for k in before}
+        assert after == before
+
+    def test_eviction_after_timeout(self):
+        ring = make_ring(4, offline_timeout=600.0)
+        ring.mark_offline("worker-1", now=0.0)
+        assert ring.evict_expired(now=500.0) == []
+        assert ring.evict_expired(now=600.0) == ["worker-1"]
+        assert "worker-1" not in ring.nodes
+
+    def test_mark_offline_keeps_first_timestamp(self):
+        ring = make_ring(2, offline_timeout=100.0)
+        ring.mark_offline("worker-0", now=0.0)
+        ring.mark_offline("worker-0", now=99.0)  # later mark must not reset
+        assert ring.evict_expired(now=100.0) == ["worker-0"]
+
+    def test_online_nodes_view(self):
+        ring = make_ring(3)
+        ring.mark_offline("worker-2", now=0.0)
+        assert ring.online_nodes == {"worker-0", "worker-1"}
+
+
+@given(keys=st.lists(st.text(min_size=1, max_size=12), min_size=1, max_size=50))
+def test_candidates_always_online_and_distinct(keys):
+    ring = make_ring(5)
+    ring.mark_offline("worker-0", now=0.0)
+    for key in keys:
+        candidates = ring.candidates(key, max_replicas=3)
+        assert len(candidates) == len(set(candidates))
+        assert "worker-0" not in candidates
+        assert all(c in ring.online_nodes for c in candidates)

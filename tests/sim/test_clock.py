@@ -1,0 +1,57 @@
+"""Tests for virtual clocks."""
+
+import pytest
+
+from repro.sim.clock import Clock, SimClock, WallClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(start=100.0).now() == 100.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock(start=-1.0)
+
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.advance(5.0) == 5.0
+        assert clock.now() == 5.0
+
+    def test_advance_zero_is_noop(self):
+        clock = SimClock(start=3.0)
+        clock.advance(0.0)
+        assert clock.now() == 3.0
+
+    def test_advance_backwards_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            clock.advance(-0.1)
+
+    def test_advance_to(self):
+        clock = SimClock()
+        clock.advance_to(10.0)
+        assert clock.now() == 10.0
+
+    def test_advance_to_past_is_noop(self):
+        clock = SimClock(start=10.0)
+        clock.advance_to(5.0)
+        assert clock.now() == 10.0
+
+    def test_satisfies_protocol(self):
+        assert isinstance(SimClock(), Clock)
+        assert isinstance(WallClock(), Clock)
+
+    def test_repr(self):
+        assert "SimClock" in repr(SimClock())
+
+
+class TestWallClock:
+    def test_monotonic(self):
+        clock = WallClock()
+        a = clock.now()
+        b = clock.now()
+        assert b >= a

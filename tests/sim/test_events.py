@@ -1,0 +1,130 @@
+"""Tests for the event loop."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.sim.events import EventLoop
+
+
+class TestSchedule:
+    def test_fires_in_time_order(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(5.0, lambda: fired.append("b"))
+        loop.schedule(1.0, lambda: fired.append("a"))
+        loop.schedule(9.0, lambda: fired.append("c"))
+        loop.run_until(10.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_fires_in_schedule_order(self):
+        loop = EventLoop()
+        fired = []
+        for label in "abc":
+            loop.schedule(1.0, lambda label=label: fired.append(label))
+        loop.run_until(1.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(3.0, lambda: seen.append(loop.clock.now()))
+        loop.run_until(10.0)
+        assert seen == [3.0]
+        assert loop.clock.now() == 10.0
+
+    def test_past_scheduling_rejected(self):
+        loop = EventLoop(SimClock(start=5.0))
+        with pytest.raises(ValueError):
+            loop.schedule(1.0, lambda: None)
+
+    def test_schedule_after(self):
+        loop = EventLoop(SimClock(start=5.0))
+        fired = []
+        loop.schedule_after(2.0, lambda: fired.append(loop.clock.now()))
+        loop.run_until(10.0)
+        assert fired == [7.0]
+
+    def test_events_beyond_deadline_stay_queued(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(5.0, lambda: fired.append(1))
+        loop.run_until(4.0)
+        assert fired == []
+        loop.run_until(5.0)
+        assert fired == [1]
+
+    def test_cancel(self):
+        loop = EventLoop()
+        fired = []
+        handle = loop.schedule(5.0, lambda: fired.append(1))
+        handle.cancel()
+        loop.run_until(10.0)
+        assert fired == []
+
+    def test_len_counts_live_events(self):
+        loop = EventLoop()
+        h1 = loop.schedule(1.0, lambda: None)
+        loop.schedule(2.0, lambda: None)
+        assert len(loop) == 2
+        h1.cancel()
+        assert len(loop) == 1
+
+
+class TestPeriodic:
+    def test_fires_every_interval(self):
+        loop = EventLoop()
+        hits = []
+        loop.schedule_periodic(10.0, lambda: hits.append(loop.clock.now()))
+        loop.run_until(35.0)
+        assert hits == [10.0, 20.0, 30.0]
+
+    def test_explicit_start(self):
+        loop = EventLoop()
+        hits = []
+        loop.schedule_periodic(10.0, lambda: hits.append(loop.clock.now()), start=5.0)
+        loop.run_until(30.0)
+        assert hits == [5.0, 15.0, 25.0]
+
+    def test_cancel_stops_future_firings(self):
+        loop = EventLoop()
+        hits = []
+        handle = loop.schedule_periodic(10.0, lambda: hits.append(loop.clock.now()))
+        loop.run_until(25.0)
+        handle.cancel()
+        loop.run_until(100.0)
+        assert hits == [10.0, 20.0]
+
+    def test_nonpositive_interval_rejected(self):
+        loop = EventLoop()
+        with pytest.raises(ValueError):
+            loop.schedule_periodic(0.0, lambda: None)
+
+    def test_callback_may_cancel_itself(self):
+        loop = EventLoop()
+        hits = []
+        handle = None
+
+        def fire():
+            hits.append(loop.clock.now())
+            if len(hits) == 2:
+                handle.cancel()
+
+        handle = loop.schedule_periodic(1.0, fire)
+        loop.run_until(10.0)
+        assert hits == [1.0, 2.0]
+
+
+class TestRunAll:
+    def test_drains_heap(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(1.0, lambda: fired.append(1))
+        loop.schedule(2.0, lambda: fired.append(2))
+        loop.run_all()
+        assert fired == [1, 2]
+
+    def test_runaway_loop_detected(self):
+        loop = EventLoop()
+        loop.schedule_periodic(1.0, lambda: None)
+        with pytest.raises(RuntimeError):
+            loop.run_all(max_events=100)

@@ -1,0 +1,31 @@
+"""Tests for named seeded RNG streams."""
+
+from repro.sim.rng import RngStream
+
+
+class TestRngStream:
+    def test_same_seed_and_name_reproduce(self):
+        a = RngStream(7, "x").rng.random(10)
+        b = RngStream(7, "x").rng.random(10)
+        assert (a == b).all()
+
+    def test_different_names_decouple(self):
+        a = RngStream(7, "x").rng.random(10)
+        b = RngStream(7, "y").rng.random(10)
+        assert not (a == b).all()
+
+    def test_different_seeds_differ(self):
+        a = RngStream(1, "x").rng.random(10)
+        b = RngStream(2, "x").rng.random(10)
+        assert not (a == b).all()
+
+    def test_child_derivation(self):
+        parent = RngStream(7, "traces")
+        child = parent.child("host1")
+        assert child.name == "traces/host1"
+        assert child.root_seed == 7
+        again = RngStream(7, "traces").child("host1")
+        assert (child.rng.random(5) == again.rng.random(5)).all()
+
+    def test_repr(self):
+        assert "traces" in repr(RngStream(7, "traces"))

@@ -1,0 +1,153 @@
+"""Tests for the analytic device queueing model."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.storage.device import DeviceProfile, StorageDevice
+
+
+def hdd(clock=None):
+    profile = DeviceProfile(
+        name="test-hdd",
+        read_bandwidth=100e6,
+        write_bandwidth=100e6,
+        seek_latency=0.01,
+        channels=1,
+    )
+    return StorageDevice(profile, clock if clock is not None else SimClock())
+
+
+class TestProfiles:
+    def test_presets(self):
+        assert DeviceProfile.hdd_high_density().channels == 1
+        assert DeviceProfile.ssd_local().channels > 1
+        assert (
+            DeviceProfile.ssd_local().read_bandwidth
+            > DeviceProfile.hdd_high_density().read_bandwidth
+        )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"read_bandwidth": 0},
+            {"write_bandwidth": -1},
+            {"seek_latency": -0.1},
+            {"channels": 0},
+        ],
+    )
+    def test_invalid_profile_rejected(self, kwargs):
+        base = dict(
+            name="x", read_bandwidth=1e6, write_bandwidth=1e6,
+            seek_latency=0.0, channels=1,
+        )
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            DeviceProfile(**base)
+
+
+class TestServiceTime:
+    def test_idle_read_latency(self):
+        device = hdd()
+        latency = device.read(100_000_000)  # 1 second of transfer
+        assert latency == pytest.approx(0.01 + 1.0)
+
+    def test_write_uses_write_bandwidth(self):
+        profile = DeviceProfile("x", read_bandwidth=100e6, write_bandwidth=50e6,
+                                seek_latency=0.0)
+        device = StorageDevice(profile, SimClock())
+        assert device.write(50_000_000) == pytest.approx(1.0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            hdd().read(-1)
+
+    def test_stats_accumulate(self):
+        device = hdd()
+        device.read(1000)
+        device.read(2000)
+        device.write(500)
+        assert device.stats.reads == 2
+        assert device.stats.writes == 1
+        assert device.stats.bytes_read == 3000
+        assert device.stats.bytes_written == 500
+
+
+class TestQueueing:
+    def test_back_to_back_requests_queue(self):
+        """Two large reads at t=0 on one channel: the second one waits."""
+        device = hdd()
+        first = device.read(100_000_000)
+        second = device.read(100_000_000)
+        assert second == pytest.approx(first + 1.01)
+        assert device.stats.blocked_requests == 1
+
+    def test_requests_after_idle_gap_do_not_queue(self):
+        clock = SimClock()
+        device = hdd(clock)
+        device.read(100_000_000)  # finishes at ~1.01
+        clock.advance(2.0)
+        device.read(1000)
+        assert device.stats.blocked_requests == 1 - 1 + 0  # no new blocks
+
+    def test_multi_channel_parallelism(self):
+        profile = DeviceProfile("ssd", read_bandwidth=100e6, write_bandwidth=100e6,
+                                seek_latency=0.0, channels=4)
+        device = StorageDevice(profile, SimClock())
+        latencies = [device.read(100_000_000) for __ in range(4)]
+        assert all(lat == pytest.approx(1.0) for lat in latencies)
+        assert device.stats.blocked_requests == 0
+        # the fifth request must wait
+        assert device.read(100_000_000) == pytest.approx(2.0)
+        assert device.stats.blocked_requests == 1
+
+    def test_queue_depth(self):
+        clock = SimClock()
+        device = hdd(clock)
+        device.read(100_000_000)
+        device.read(100_000_000)
+        assert device.queue_depth() == 1  # one channel, busy until 2.02
+        clock.advance(10.0)
+        assert device.queue_depth() == 0
+
+    def test_utilization(self):
+        clock = SimClock()
+        device = hdd(clock)
+        device.read(100_000_000)  # ~1.01 s busy
+        clock.advance(2.0)
+        assert device.utilization() == pytest.approx(1.01 / 2.0, rel=1e-3)
+
+    def test_blocked_per_bucket(self):
+        clock = SimClock()
+        device = hdd(clock)
+        # minute 0: a burst that queues
+        for __ in range(3):
+            device.read(100_000_000)
+        clock.advance_to(120.0)  # minute 2: idle device, no queueing
+        device.read(1000)
+        buckets = device.blocked_per_bucket(60.0)
+        assert buckets == {0: 2}
+
+    def test_reset_stats(self):
+        device = hdd()
+        device.read(100)
+        device.reset_stats()
+        assert device.stats.reads == 0
+        assert device.stats.records == []
+
+    def test_records_capture_wait_and_service(self):
+        device = hdd()
+        device.read(100_000_000)
+        device.read(100_000_000)
+        first, second = device.stats.records
+        assert first.wait == 0.0
+        assert second.wait == pytest.approx(1.01)
+        assert second.latency == pytest.approx(second.wait + second.service)
+        assert second.completion == pytest.approx(2.02)
+
+    def test_keep_records_false(self):
+        profile = DeviceProfile("x", read_bandwidth=1e6, write_bandwidth=1e6,
+                                seek_latency=0.0)
+        device = StorageDevice(profile, SimClock(), keep_records=False)
+        device.read(100)
+        assert device.stats.records == []
+        assert device.stats.reads == 1

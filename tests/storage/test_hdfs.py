@@ -1,0 +1,192 @@
+"""Tests for the HDFS subset: blocks, NameNode, DataNode, client."""
+
+import pytest
+
+from repro.errors import (
+    BlockNotFoundError,
+    FileNotFoundInStorageError,
+    StaleReadError,
+)
+from repro.sim.clock import SimClock
+from repro.storage.hdfs import Block, BlockId, BlockMetaFile, DataNode, DfsClient, NameNode
+
+
+def make_cluster(n_nodes=2, block_size=1000, replication=1):
+    clock = SimClock()
+    nodes = [DataNode(f"dn{i}", clock=clock) for i in range(n_nodes)]
+    namenode = NameNode(nodes, block_size=block_size, replication=replication)
+    return clock, nodes, namenode, DfsClient(namenode)
+
+
+class TestBlockId:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockId(-1, 0)
+
+    def test_next_generation(self):
+        identity = BlockId(7, 1)
+        assert identity.next_generation() == BlockId(7, 2)
+
+    def test_cache_key(self):
+        assert BlockId(17, 5).cache_key() == "blk_17@gs5"
+        assert str(BlockId(17, 5)) == "blk_17@gs5"
+
+
+class TestBlockMetaFile:
+    def test_checksums_verify(self):
+        meta = BlockMetaFile.for_data(b"x" * 2000)
+        assert meta.verify(b"x" * 2000)
+        assert not meta.verify(b"y" * 2000)
+        assert len(meta.checksums) == 4  # ceil(2000/512)
+
+    def test_size_bytes(self):
+        meta = BlockMetaFile.for_data(b"x" * 512)
+        assert meta.size_bytes == 7 + 4
+
+
+class TestBlock:
+    def test_append_bumps_generation(self):
+        block = Block(identity=BlockId(1, 1), data=b"abc")
+        appended = block.appended(b"def")
+        assert appended.identity == BlockId(1, 2)
+        assert appended.data == b"abcdef"
+        assert appended.verify()
+        assert block.data == b"abc"  # original immutable
+
+    def test_auto_meta(self):
+        block = Block(identity=BlockId(1, 1), data=b"abc")
+        assert block.verify()
+        assert block.length == 3
+
+
+class TestNameNode:
+    def test_create_splits_into_blocks(self):
+        __, __, namenode, client = make_cluster(block_size=1000)
+        status = client.create("/f", b"z" * 2500)
+        assert len(status.blocks) == 3
+        assert status.length == 2500
+        assert namenode.exists("/f")
+        assert namenode.list_files() == ["/f"]
+
+    def test_duplicate_create_rejected(self):
+        __, __, __, client = make_cluster()
+        client.create("/f", b"x")
+        with pytest.raises(ValueError):
+            client.create("/f", b"x")
+
+    def test_missing_file_raises(self):
+        __, __, namenode, __ = make_cluster()
+        with pytest.raises(FileNotFoundInStorageError):
+            namenode.get_file_status("/nope")
+
+    def test_placement_round_robin(self):
+        __, nodes, __, client = make_cluster(n_nodes=2, block_size=100)
+        client.create("/a", b"x" * 100)
+        client.create("/b", b"x" * 100)
+        assert nodes[0].block_count() == 1
+        assert nodes[1].block_count() == 1
+
+    def test_replication(self):
+        __, nodes, namenode, client = make_cluster(n_nodes=3, replication=2)
+        status = client.create("/f", b"x" * 10)
+        located = namenode.locate_block(status.blocks[0])
+        assert len(located) == 2
+
+    def test_invalid_config(self):
+        clock = SimClock()
+        nodes = [DataNode("dn0", clock=clock)]
+        with pytest.raises(ValueError):
+            NameNode([], block_size=10)
+        with pytest.raises(ValueError):
+            NameNode(nodes, block_size=0)
+        with pytest.raises(ValueError):
+            NameNode(nodes, replication=2)
+
+    def test_locate_unknown_block(self):
+        __, __, namenode, __ = make_cluster()
+        with pytest.raises(BlockNotFoundError):
+            namenode.locate_block(BlockId(999, 1))
+
+    def test_delete_removes_replicas(self):
+        __, nodes, __, client = make_cluster(n_nodes=1, block_size=100)
+        client.create("/f", b"x" * 250)
+        removed = client.delete("/f")
+        assert len(removed) == 3
+        assert nodes[0].block_count() == 0
+        with pytest.raises(FileNotFoundInStorageError):
+            client.delete("/f")
+
+
+class TestAppend:
+    def test_append_updates_file_and_stamp(self):
+        __, __, __, client = make_cluster(block_size=1000)
+        status = client.create("/f", b"a" * 1500)
+        old_last = status.blocks[-1]
+        new_identity = client.append("/f", b"b" * 100)
+        assert new_identity.generation_stamp == old_last.generation_stamp + 1
+        assert client.file_length("/f") == 1600
+        data = client.read("/f", 1400, 200).data
+        assert data == b"a" * 100 + b"b" * 100
+
+    def test_stale_generation_read_fails(self):
+        """Readers holding a pre-append stamp can no longer read the node's
+        replaced block (the cache isolates them with its own snapshot)."""
+        __, nodes, __, client = make_cluster(n_nodes=1, block_size=1000)
+        status = client.create("/f", b"a" * 500)
+        old = status.blocks[0]
+        client.append("/f", b"b")
+        with pytest.raises(StaleReadError):
+            nodes[0].read_block(old, 0, 10)
+
+    def test_latest_identity(self):
+        __, nodes, __, client = make_cluster(n_nodes=1)
+        status = client.create("/f", b"a" * 10)
+        client.append("/f", b"b")
+        latest = nodes[0].latest_identity(status.blocks[0].block_id)
+        assert latest.generation_stamp == 2
+
+
+class TestDataNodeReads:
+    def test_ranged_read_with_latency(self):
+        __, nodes, __, client = make_cluster(n_nodes=1, block_size=1000)
+        status = client.create("/f", bytes(range(256)) * 4)
+        result = nodes[0].read_block(status.blocks[0], 10, 20)
+        assert result.data == (bytes(range(256)) * 4)[10:30]
+        assert result.latency > 0
+
+    def test_hdd_queueing_produces_blocked_requests(self):
+        """Burst reads on the single-channel HDD wait in line."""
+        clock, nodes, __, client = make_cluster(n_nodes=1, block_size=10**6)
+        client.create("/f", b"x" * 10**6)
+        status = client.namenode.get_file_status("/f")
+        clock.advance(10.0)  # let the ingest write drain
+        nodes[0].device.reset_stats()
+        for __ in range(5):
+            nodes[0].read_block(status.blocks[0])
+        assert nodes[0].device.stats.blocked_requests == 4
+
+    def test_bytes_stored(self):
+        __, nodes, __, client = make_cluster(n_nodes=1, block_size=100)
+        client.create("/f", b"x" * 250)
+        assert nodes[0].bytes_stored() == 250
+
+
+class TestClientReads:
+    def test_cross_block_read(self):
+        __, __, __, client = make_cluster(block_size=100)
+        payload = bytes(i % 251 for i in range(350))
+        client.create("/f", payload)
+        assert client.read("/f", 50, 200).data == payload[50:250]
+        assert client.read_fully("/f").data == payload
+
+    def test_read_past_eof(self):
+        __, __, __, client = make_cluster(block_size=100)
+        client.create("/f", b"x" * 150)
+        assert client.read("/f", 100, 500).data == b"x" * 50
+        assert client.read("/f", 500, 10).data == b""
+
+    def test_negative_args_rejected(self):
+        __, __, __, client = make_cluster()
+        client.create("/f", b"x")
+        with pytest.raises(ValueError):
+            client.read("/f", -1, 10)

@@ -1,0 +1,84 @@
+"""Tests for the repro-cachesim CLI."""
+
+import pytest
+
+from repro.tools.cache_sim import main, replay
+from repro.tools.trace_stats import write_trace
+from repro.workload.traces import BlockAccess
+
+KIB = 1024
+MIB = 1024 * KIB
+
+
+@pytest.fixture()
+def trace_path(tmp_path):
+    # a small trace with strong reuse on block 1 and a write to block 2
+    trace = [
+        BlockAccess(timestamp=float(i), block_id=1, nbytes=64 * KIB, is_read=True)
+        for i in range(20)
+    ]
+    trace += [
+        BlockAccess(timestamp=25.0, block_id=2, nbytes=64 * KIB, is_read=True),
+        BlockAccess(timestamp=26.0, block_id=2, nbytes=64 * KIB, is_read=True),
+        BlockAccess(timestamp=27.0, block_id=2, nbytes=0, is_read=False),
+        BlockAccess(timestamp=28.0, block_id=2, nbytes=64 * KIB, is_read=True),
+    ]
+    path = tmp_path / "trace.csv"
+    write_trace(path, trace)
+    return str(path)
+
+
+class TestReplay:
+    def test_reuse_hits(self, trace_path):
+        summary = replay(
+            trace_path, capacity_bytes=16 * MIB, page_size=64 * KIB,
+            policy="lru", block_size=1 * MIB,
+        )
+        assert summary["hit_ratio"] > 0.8
+        assert summary["bytes_from_cache"] > 0
+
+    def test_write_invalidates(self, trace_path):
+        summary = replay(
+            trace_path, capacity_bytes=16 * MIB, page_size=64 * KIB,
+            policy="lru", block_size=1 * MIB,
+        )
+        # the read after the write must re-fetch: at least 3 remote page
+        # fetches (block 1 cold, block 2 cold, block 2 after invalidation)
+        assert summary["bytes_from_remote"] >= 3 * 64 * KIB
+
+    def test_admission_threshold(self, trace_path):
+        gated = replay(
+            trace_path, capacity_bytes=16 * MIB, page_size=64 * KIB,
+            policy="lru", admission_threshold=3, block_size=1 * MIB,
+        )
+        open_door = replay(
+            trace_path, capacity_bytes=16 * MIB, page_size=64 * KIB,
+            policy="lru", block_size=1 * MIB,
+        )
+        assert gated["hit_ratio"] <= open_door["hit_ratio"]
+
+    def test_policies_differ_under_pressure(self, trace_path):
+        lru = replay(trace_path, capacity_bytes=1 * MIB, page_size=64 * KIB,
+                     policy="lru", block_size=1 * MIB)
+        fifo = replay(trace_path, capacity_bytes=1 * MIB, page_size=64 * KIB,
+                      policy="fifo", block_size=1 * MIB)
+        assert lru["policy"] == "lru" and fifo["policy"] == "fifo"
+
+
+class TestCli:
+    def test_main_prints_table(self, trace_path, capsys):
+        code = main([trace_path, "--capacity-mb", "16", "--page-kb", "64",
+                     "--policy", "lru", "--policy", "fifo",
+                     "--block-size-mb", "1"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Cache replay of" in output
+        assert "lru" in output and "fifo" in output
+
+    def test_default_policy(self, trace_path, capsys):
+        assert main([trace_path, "--block-size-mb", "1"]) == 0
+        assert "lru" in capsys.readouterr().out
+
+    def test_bad_policy_rejected(self, trace_path):
+        with pytest.raises(SystemExit):
+            main([trace_path, "--policy", "optimal"])

@@ -1,0 +1,48 @@
+"""Tests for the repro-report collation CLI."""
+
+import pytest
+
+from repro.tools.report import collate, main
+
+
+@pytest.fixture()
+def report_dir(tmp_path):
+    reports = tmp_path / "bench_reports"
+    reports.mkdir()
+    (reports / "table1_hdfs_traffic.txt").write_text("table one body\n")
+    (reports / "fig2_zipf_popularity.txt").write_text("fig two body\n")
+    (reports / "custom_extra.txt").write_text("extra body\n")
+    return reports
+
+
+class TestCollate:
+    def test_known_sections_in_paper_order(self, report_dir):
+        document = collate(report_dir)
+        table1 = document.index("Table 1")
+        fig2 = document.index("Figure 2")
+        assert table1 < fig2
+        assert "table one body" in document
+        assert "fig two body" in document
+
+    def test_unknown_reports_appended(self, report_dir):
+        document = collate(report_dir)
+        assert "## custom_extra" in document
+        assert "extra body" in document
+
+    def test_missing_reports_skipped(self, report_dir):
+        document = collate(report_dir)
+        assert "Figure 14" not in document
+
+
+class TestCli:
+    def test_stdout(self, report_dir, capsys):
+        assert main(["--reports", str(report_dir)]) == 0
+        assert "Benchmark report" in capsys.readouterr().out
+
+    def test_write_file(self, report_dir, tmp_path):
+        out = tmp_path / "report.md"
+        assert main(["--reports", str(report_dir), "--out", str(out)]) == 0
+        assert "table one body" in out.read_text()
+
+    def test_missing_dir_errors(self, tmp_path):
+        assert main(["--reports", str(tmp_path / "nope")]) == 1

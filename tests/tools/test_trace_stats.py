@@ -1,0 +1,69 @@
+"""Tests for the repro-trace CLI."""
+
+import pytest
+
+from repro.tools.trace_stats import main, read_trace, write_trace
+from repro.workload.traces import BlockAccess
+
+
+class TestTraceIo:
+    def test_roundtrip(self, tmp_path):
+        trace = [
+            BlockAccess(timestamp=0.5, block_id=7, nbytes=1024, is_read=True),
+            BlockAccess(timestamp=1.25, block_id=9, nbytes=2048, is_read=False),
+        ]
+        path = tmp_path / "trace.csv"
+        write_trace(path, trace)
+        assert read_trace(path) == trace
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ValueError):
+            read_trace(path)
+
+
+class TestGenerateCommand:
+    def test_generate_writes_trace(self, tmp_path, capsys):
+        out = tmp_path / "trace.csv"
+        code = main([
+            "generate", "--out", str(out), "--reads", "5000",
+            "--writes", "20", "--blocks", "1000", "--top-k", "100",
+            "--top-k-share", "0.9", "--duration", "600",
+        ])
+        assert code == 0
+        assert "wrote 5020 accesses" in capsys.readouterr().out
+        trace = read_trace(out)
+        assert sum(1 for a in trace if a.is_read) == 5000
+        assert sum(1 for a in trace if not a.is_read) == 20
+
+    def test_generate_deterministic_for_seed(self, tmp_path):
+        a, b = tmp_path / "a.csv", tmp_path / "b.csv"
+        for out in (a, b):
+            main(["generate", "--out", str(out), "--reads", "1000",
+                  "--writes", "5", "--blocks", "200", "--top-k", "20",
+                  "--top-k-share", "0.8", "--seed", "7"])
+        assert a.read_text() == b.read_text()
+
+
+class TestAnalyzeCommand:
+    def test_analyze_prints_table(self, tmp_path, capsys):
+        out = tmp_path / "trace.csv"
+        main(["generate", "--out", str(out), "--reads", "8000",
+              "--writes", "40", "--blocks", "1500", "--top-k", "150",
+              "--top-k-share", "0.9", "--duration", "600"])
+        capsys.readouterr()
+        code = main(["analyze", str(out), "--top-k", "150"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "total reads         | 8000" in output
+        assert "reads / writes      | 200.0" in output
+        assert "zipf exponent" in output
+        # the top-150 share lands near the calibration target
+        share_line = next(l for l in output.splitlines() if "read share" in l)
+        share = float(share_line.split("|")[1].strip().rstrip("%"))
+        assert share == pytest.approx(90.0, abs=3.0)
+
+    def test_missing_subcommand_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
