@@ -130,7 +130,13 @@ class MetricsRegistry:
     ``puts`` / ``put_rejected_admission`` / ``put_rejected_quota`` /
     ``put_rejected_space`` -- admission pipeline outcomes,
     ``evictions`` / ``evicted_bytes`` / ``ttl_evictions`` -- reclaim stats,
-    ``timeout_fallbacks`` / ``corruption_evictions`` -- Section 8 paths.
+    ``timeout_fallbacks`` / ``corruption_evictions`` -- Section 8 paths,
+    ``retries`` / ``retry_exhausted`` / ``hedged_requests`` / ``hedge_wins``
+    / ``breaker_trips`` / ``breaker_rejections`` / ``breaker_probes`` /
+    ``failovers`` / ``remote_fallbacks`` / ``degraded_serves`` /
+    ``chaos_faults_injected`` -- the resilience layer's decision trail
+    (every retry/hedge/breaker decision is observable, per the Section 7
+    error-metrics lesson).
     """
 
     _WELL_KNOWN = (
@@ -147,6 +153,17 @@ class MetricsRegistry:
         "ttl_evictions",
         "timeout_fallbacks",
         "corruption_evictions",
+        "retries",
+        "retry_exhausted",
+        "hedged_requests",
+        "hedge_wins",
+        "breaker_trips",
+        "breaker_rejections",
+        "breaker_probes",
+        "failovers",
+        "remote_fallbacks",
+        "degraded_serves",
+        "chaos_faults_injected",
     )
 
     def __init__(self, name: str = "cache") -> None:

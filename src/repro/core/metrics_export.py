@@ -27,6 +27,14 @@ def _sanitize(name: str) -> str:
     return _NAME_RE.sub("_", name)
 
 
+def _escape_label(value: str) -> str:
+    """Escape a label value per the Prometheus exposition format: backslash,
+    double quote, and line feed must be backslash-escaped."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def to_json_dict(registry: MetricsRegistry) -> dict:
     """Structured snapshot of one registry."""
     histograms = {}
@@ -56,8 +64,9 @@ def to_json(registry: MetricsRegistry, *, indent: int | None = None) -> str:
 
 def to_prometheus_text(registry: MetricsRegistry) -> str:
     """Prometheus exposition format for one registry."""
-    # metric names must be sanitized; label values may hold any UTF-8
-    instance = registry.name
+    # metric names must be sanitized; label values may hold any UTF-8 but
+    # backslash, quote, and newline must be escaped
+    instance = _escape_label(registry.name)
     lines: list[str] = []
     for name, value in sorted(registry.counters().items()):
         metric = f"cache_{_sanitize(name)}_total"

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import time as _time
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.core.scope import CacheScope
 
@@ -55,7 +56,9 @@ class PageInfo:
         scope: logical scope (partition/table/schema) used by the quota
             manager and bulk operations.
         directory: index of the cache directory holding the page file.
-        created_at: virtual/real timestamp of admission.
+        created_at: virtual/real timestamp of admission; when omitted it is
+            stamped from the module time source (wall clock by default; see
+            :func:`set_time_source`).
         last_access: timestamp of the most recent hit (LRU input).
         access_count: number of hits since admission (LFU input).
         ttl: optional time-to-live in seconds (privacy-driven expiry).
@@ -65,7 +68,7 @@ class PageInfo:
     size: int
     scope: CacheScope = field(default_factory=CacheScope.global_scope)
     directory: int = 0
-    created_at: float = 0.0
+    created_at: float | None = None
     last_access: float = 0.0
     access_count: int = 0
     ttl: float | None = None
@@ -75,6 +78,8 @@ class PageInfo:
             raise ValueError(f"size must be >= 0, got {self.size}")
         if self.ttl is not None and self.ttl <= 0:
             raise ValueError(f"ttl must be positive, got {self.ttl}")
+        if self.created_at is None:
+            self.created_at = now_wall()
         if self.last_access == 0.0:
             self.last_access = self.created_at
 
@@ -120,6 +125,31 @@ def pages_for_range(
     return fragments
 
 
+_time_source: Callable[[], float] = _time.time
+
+
 def now_wall() -> float:
-    """Wall-clock seconds; default timestamp source outside simulations."""
-    return _time.time()
+    """Seconds from the module time source (wall clock unless overridden).
+
+    Used to stamp :class:`PageInfo` instances constructed without an
+    explicit ``created_at``; simulations pass explicit virtual timestamps
+    instead, or install their clock via :func:`set_time_source` for
+    deterministic TTL/access stamps in code that cannot thread one through.
+    """
+    return _time_source()
+
+
+def set_time_source(source: Callable[[], float]) -> None:
+    """Replace the timestamp source (e.g. ``sim_clock.now``).
+
+    Pair with :func:`reset_time_source` -- usually in a ``try/finally`` or
+    test fixture -- so an override never leaks across tests.
+    """
+    global _time_source
+    _time_source = source
+
+
+def reset_time_source() -> None:
+    """Restore the default wall-clock time source."""
+    global _time_source
+    _time_source = _time.time

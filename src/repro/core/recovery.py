@@ -19,6 +19,7 @@ production cache keeps shared file information as folders.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 from repro.core.cache_manager import LocalCacheManager
@@ -77,7 +78,13 @@ class ScopeJournal:
 
     def compact(self) -> int:
         """Rewrite the journal with one record per file; returns records
-        kept."""
+        kept.
+
+        Crash-safe: the compacted log is written to a sibling temp file,
+        fsynced, and atomically swapped in with :func:`os.replace` -- a
+        crash mid-compaction leaves either the old journal or the new one,
+        never a truncated hybrid.
+        """
         state = self.replay()
         lines = []
         for file_id, (scope, ttl) in sorted(state.items()):
@@ -86,8 +93,12 @@ class ScopeJournal:
                 entry["ttl"] = ttl
             lines.append(json.dumps(entry, separators=(",", ":")))
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self.path.write_text("\n".join(lines) + ("\n" if lines else ""),
-                             encoding="utf-8")
+        tmp_path = self.path.with_suffix(".tmp")
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + ("\n" if lines else ""))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, self.path)
         self._last_written = {
             f: (str(s), t) for f, (s, t) in state.items()
         }

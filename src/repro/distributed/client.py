@@ -10,14 +10,29 @@ Encodes the Section 7 lessons directly:
 - **remote storage as the final fallback** -- "in cases where both
   replicas are unavailable ... the system defaults to retrieving data from
   remote storage."
+
+On top of the seed behaviour, the client plugs into the resilience layer:
+
+- a :class:`~repro.resilience.health.NodeHealthTracker` keeps a circuit
+  breaker per worker, so a worker that keeps failing is *skipped* (no
+  connection attempt, no timeout) until its breaker half-opens a probe;
+- a :class:`~repro.resilience.hedge.HedgePolicy` launches a backup read on
+  the secondary replica when the primary runs past the latency-percentile
+  threshold (slow-but-alive nodes);
+- every failover / fallback / degraded serve is counted in a
+  :class:`~repro.core.metrics.MetricsRegistry` so chaos experiments can
+  assert on the decision trail.
 """
 
 from __future__ import annotations
 
 from repro.core.cache_manager import CacheReadResult
+from repro.core.metrics import MetricsRegistry
 from repro.core.scope import CacheScope
 from repro.distributed.worker import CacheWorker
 from repro.presto.hashring import ConsistentHashRing
+from repro.resilience.health import NodeHealthTracker
+from repro.resilience.hedge import HedgePolicy
 from repro.sim.clock import Clock, SimClock
 from repro.storage.remote import DataSource
 
@@ -33,6 +48,9 @@ class DistributedCacheClient:
         max_replicas: int = 2,
         offline_timeout: float = 600.0,
         clock: Clock | None = None,
+        health: NodeHealthTracker | None = None,
+        hedge: HedgePolicy | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if not workers:
             raise ValueError("need at least one cache worker")
@@ -41,6 +59,9 @@ class DistributedCacheClient:
         self.clock = clock if clock is not None else SimClock()
         self.source = source
         self.max_replicas = max_replicas
+        self.health = health
+        self.hedge = hedge
+        self.metrics = metrics if metrics is not None else MetricsRegistry("tier-client")
         self._workers = {w.name: w for w in workers}
         self.ring = ConsistentHashRing(offline_timeout=offline_timeout)
         for worker in workers:
@@ -64,18 +85,44 @@ class DistributedCacheClient:
         self.reads += 1
         now = self.clock.now()
         self.ring.evict_expired(now)
-        for candidate in self.ring.candidates(file_id, self.max_replicas):
+        candidates = self.ring.candidates(file_id, self.max_replicas)
+        for position, candidate in enumerate(candidates):
             worker = self._workers.get(candidate)
             if worker is None:
                 continue
+            breaker = (
+                self.health.breaker_for(candidate) if self.health is not None else None
+            )
+            if breaker is not None and not breaker.allow():
+                # open breaker: skip without attempting (no timeout charged)
+                continue
             try:
-                return worker.serve_read(file_id, offset, length, scope=scope)
+                result = worker.serve_read(file_id, offset, length, scope=scope)
             except ConnectionError:
                 # lazy data movement: keep the seat, skip for now
                 self.ring.mark_offline(candidate, now)
                 self.failovers += 1
-        # both replicas unavailable: remote storage fallback
+                self.metrics.counter("failovers").inc()
+                if self.health is not None:
+                    self.health.record_failure(candidate)
+                continue
+            if self.health is not None:
+                self.health.record_success(candidate)
+            if position > 0:
+                # served, but not by the primary: degraded-mode accounting
+                self.metrics.counter("degraded_serves").inc()
+            if self.hedge is not None:
+                result.latency, __, __ = self.hedge.apply(
+                    result.latency,
+                    lambda: self._backup_read(
+                        candidates, candidate, file_id, offset, length, scope
+                    ),
+                )
+            return result
+        # all replicas unavailable: remote storage fallback
         self.remote_fallbacks += 1
+        self.metrics.counter("remote_fallbacks").inc()
+        self.metrics.counter("degraded_serves").inc()
         remote = self.source.read(file_id, offset, length)
         return CacheReadResult(
             data=remote.data,
@@ -83,6 +130,31 @@ class DistributedCacheClient:
             page_misses=1,
             bytes_from_remote=len(remote.data),
         )
+
+    def _backup_read(
+        self,
+        candidates: list[str],
+        primary: str,
+        file_id: str,
+        offset: int,
+        length: int,
+        scope: CacheScope | None,
+    ) -> float:
+        """Hedge backup: the next live replica's latency for the same read.
+
+        Raises when no backup target exists (the hedge policy then lets the
+        slow primary result stand).
+        """
+        for candidate in candidates:
+            if candidate == primary:
+                continue
+            worker = self._workers.get(candidate)
+            if worker is None or not worker.online:
+                continue
+            if self.health is not None and not self.health.is_available(candidate):
+                continue
+            return worker.serve_read(file_id, offset, length, scope=scope).latency
+        raise ConnectionError("no live backup replica to hedge against")
 
     def notify_recovered(self, name: str) -> None:
         """A worker came back within the timeout: its keys map straight

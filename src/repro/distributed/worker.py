@@ -52,6 +52,7 @@ class CacheWorker:
             metrics=self.metrics,
         )
         self.requests_served = 0
+        self._crash_countdown: int | None = None
 
     def serve_read(
         self,
@@ -64,10 +65,27 @@ class CacheWorker:
         """Handle one client read; raises if the worker is offline."""
         if not self.online:
             raise ConnectionError(f"cache worker {self.name} is offline")
+        if self._crash_countdown is not None:
+            self._crash_countdown -= 1
+            if self._crash_countdown <= 0:
+                # the process dies while serving: the client sees a dropped
+                # connection, not a response
+                self._crash_countdown = None
+                self.fail()
+                raise ConnectionError(
+                    f"cache worker {self.name} crashed mid-read"
+                )
         result = self.cache.read(file_id, offset, length, self.source, scope=scope)
         result.latency += self.network_rtt
         self.requests_served += 1
         return result
+
+    def schedule_crash_after(self, requests: int) -> None:
+        """Chaos hook: crash while serving the ``requests``-th next read
+        (the connection drops before any bytes are returned)."""
+        if requests < 1:
+            raise ValueError(f"requests must be >= 1, got {requests}")
+        self._crash_countdown = requests
 
     def fail(self) -> None:
         """Take the worker offline (container restart, crash)."""

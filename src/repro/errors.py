@@ -72,6 +72,31 @@ class StaleReadError(StorageError):
     """A read raced with a concurrent mutation and saw an old generation."""
 
 
+class RemoteReadError(StorageError):
+    """A remote read failed transiently (injected fault, dropped connection,
+    storage-side 5xx).  Retryable, unlike :class:`FileNotFoundInStorageError`."""
+
+
+class RemoteCorruptionError(RemoteReadError):
+    """Remote bytes failed checksum verification in transit.
+
+    Modelled as detected at the transport layer, so the reaction is the
+    same as any transient remote failure: retry the request.
+    """
+
+
+class DataNodeOfflineError(StorageError, ConnectionError):
+    """The DataNode is down (crashed, restarting, or partitioned away)."""
+
+
+class CircuitOpenError(ReproError):
+    """A circuit breaker rejected the call without attempting it."""
+
+
+class RetriesExhaustedError(ReproError):
+    """Every retry attempt against a remote target failed."""
+
+
 class FormatError(ReproError):
     """A columnar container failed to parse (bad magic, truncated footer)."""
 

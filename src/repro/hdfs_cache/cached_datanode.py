@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from repro.core.admission.rate_limiter import BucketTimeRateLimit
 from repro.core.cache_manager import LocalCacheManager
 from repro.core.config import CacheConfig, CacheDirectory, GIB
+from repro.core.metrics import MetricsRegistry
 from repro.core.pagestore.simulated import SimulatedSsdPageStore
 from repro.errors import BlockNotFoundError
 from repro.hdfs_cache.block_mapping import BlockMapping
@@ -83,9 +84,13 @@ class CachedDataNode:
         page_size: int = 1024 * 1024,
         rate_limiter: BucketTimeRateLimit | None = None,
         ssd_profile: DeviceProfile | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.datanode = datanode
         self.clock = clock
+        self.metrics = (
+            metrics if metrics is not None else MetricsRegistry(datanode.name)
+        )
         self.rate_limiter = (
             rate_limiter
             if rate_limiter is not None
@@ -103,6 +108,7 @@ class CachedDataNode:
             config,
             clock=clock,
             page_store=SimulatedSsdPageStore(self.ssd),
+            metrics=self.metrics,
         )
         self.mapping = BlockMapping()
         self._source = _DataNodeSource(self)
@@ -189,6 +195,10 @@ class CachedDataNode:
             self.traffic.append(
                 TrafficSample(now, result.bytes_from_remote, from_cache=False)
             )
+        if result.fallbacks:
+            # the cache timed out / errored and the HDD bailed it out --
+            # served, but in degraded mode
+            self.metrics.counter("degraded_serves").inc()
         return CachedReadResult(
             data=result.data, latency=result.latency, from_cache=True
         )

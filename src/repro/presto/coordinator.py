@@ -18,13 +18,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.admission.base import AdmissionPolicy
+from repro.core.metrics import MetricsRegistry
+from repro.errors import SchedulerError
 from repro.presto.catalog import Catalog
 from repro.presto.hashring import ConsistentHashRing
-from repro.presto.operators import ScanProfile
+from repro.presto.operators import OperatorResult, ScanProfile
 from repro.presto.runtime_stats import QueryRuntimeStats, RuntimeStatsAggregator
-from repro.presto.scheduler import RandomScheduler, SoftAffinityScheduler
+from repro.presto.scheduler import RandomScheduler, SchedulerDecision, SoftAffinityScheduler
 from repro.presto.split import Split, splits_for_file
 from repro.presto.worker import Worker
+from repro.resilience.health import NodeHealthTracker
 from repro.sim.clock import SimClock
 from repro.sim.rng import RngStream
 from repro.presto.query import QueryProfile
@@ -71,6 +74,7 @@ class PrestoCluster:
         target_split_size: int = 64 * 1024 * 1024,
         clock: SimClock | None = None,
         seed: int = 0,
+        health: NodeHealthTracker | None = None,
     ) -> "PrestoCluster":
         clock = clock if clock is not None else SimClock()
         workers: dict[str, Worker] = {}
@@ -97,6 +101,7 @@ class PrestoCluster:
                 max_replicas=max_replicas,
                 max_splits_per_node=max_splits_per_node,
                 probe_latency=probe_latency,
+                health=health,
             )
         elif scheduler == "random":
             sched = RandomScheduler(RngStream(seed, "scheduler/random"))
@@ -105,7 +110,8 @@ class PrestoCluster:
                 f"unknown scheduler {scheduler!r}; choose soft_affinity or random"
             )
         coordinator = Coordinator(
-            catalog, workers, sched, target_split_size=target_split_size
+            catalog, workers, sched, target_split_size=target_split_size,
+            health=health,
         )
         return cls(coordinator=coordinator, workers=workers, ring=ring)
 
@@ -120,6 +126,8 @@ class Coordinator:
         scheduler,
         *,
         target_split_size: int = 64 * 1024 * 1024,
+        health: NodeHealthTracker | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if not workers:
             raise ValueError("a cluster needs at least one worker")
@@ -127,7 +135,10 @@ class Coordinator:
         self.workers = dict(workers)
         self.scheduler = scheduler
         self.target_split_size = target_split_size
+        self.health = health
+        self.metrics = metrics if metrics is not None else MetricsRegistry("coordinator")
         self.aggregator = RuntimeStatsAggregator()
+        self.split_failovers = 0
 
     # -- planning ------------------------------------------------------------
 
@@ -152,6 +163,58 @@ class Coordinator:
 
     # -- execution ---------------------------------------------------------------
 
+    def _schedulable_workers(self) -> list[str]:
+        """Workers worth sending splits to: online, breaker not open."""
+        names = [
+            name
+            for name, worker in self.workers.items()
+            if getattr(worker, "online", True)
+        ]
+        if self.health is not None:
+            healthy = [n for n in names if self.health.is_available(n)]
+            if healthy:
+                names = healthy
+        return names
+
+    def _execute_with_failover(
+        self,
+        split: Split,
+        profile: ScanProfile,
+        stats: QueryRuntimeStats,
+        load: dict[str, int],
+    ) -> tuple[SchedulerDecision, OperatorResult, int]:
+        """Assign and run one split, rescheduling when a worker crashes
+        mid-query; returns ``(decision, result, probes_charged)``.
+
+        A crashed worker is dropped from this query's load view so the
+        scheduler stops picking it; the split itself is retried elsewhere
+        (splits are idempotent scans).
+        """
+        probes_charged = 0
+        while True:
+            if not load:
+                raise SchedulerError(
+                    f"no workers left to run split of {split.qualified_table}"
+                )
+            decision = self.scheduler.assign(split, load)
+            probes_charged += max(decision.probes - 1, 0)
+            worker = self.workers[decision.worker]
+            try:
+                result = worker.execute_split(
+                    split, profile, stats, bypass_cache=decision.bypass_cache
+                )
+            except ConnectionError as exc:
+                self.split_failovers += 1
+                self.metrics.counter("failovers").inc()
+                self.metrics.record_error("execute_split", exc)
+                if self.health is not None:
+                    self.health.record_failure(decision.worker)
+                load.pop(decision.worker, None)
+                continue
+            if self.health is not None:
+                self.health.record_success(decision.worker)
+            return decision, result, probes_charged
+
     def run_query(self, query: QueryProfile) -> QueryResult:
         """Plan, schedule, and execute one query; record its stats."""
         stats = QueryRuntimeStats(query_id=query.query_id)
@@ -160,22 +223,23 @@ class Coordinator:
         stats.splits = len(planned)
         partitions_touched: set[str] = set()
 
-        load = {name: 0 for name in self.workers}
+        schedulable = self._schedulable_workers()
+        if not schedulable:
+            raise SchedulerError("no online workers to run the query")
+        load = {name: 0 for name in schedulable}
         per_worker_busy = {name: 0.0 for name in self.workers}
         probe_latency = getattr(self.scheduler, "probe_latency", 0.0)
         scheduling_wall = 0.0
         for split, profile in planned:
-            decision = self.scheduler.assign(split, load)
-            scheduling_wall += max(decision.probes - 1, 0) * probe_latency
+            decision, result, probes = self._execute_with_failover(
+                split, profile, stats, load
+            )
+            scheduling_wall += probes * probe_latency
             load[decision.worker] += 1
             if decision.affinity:
                 stats.affinity_hits += 1
             if decision.bypass_cache:
                 stats.cache_bypassed_splits += 1
-            worker = self.workers[decision.worker]
-            result = worker.execute_split(
-                split, profile, stats, bypass_cache=decision.bypass_cache
-            )
             per_worker_busy[decision.worker] += result.input_wall + result.cpu_time
             partitions_touched.add(f"{split.qualified_table}/{split.partition}")
 

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 from repro.presto.hashring import ConsistentHashRing
 from repro.presto.split import Split
+from repro.resilience.health import NodeHealthTracker
 from repro.sim.rng import RngStream
 
 
@@ -57,6 +58,7 @@ class SoftAffinityScheduler:
         max_replicas: int = 2,
         max_splits_per_node: int = 100,
         probe_latency: float = 0.0,
+        health: NodeHealthTracker | None = None,
     ) -> None:
         if max_splits_per_node <= 0:
             raise ValueError(
@@ -68,8 +70,10 @@ class SoftAffinityScheduler:
         self.max_replicas = max_replicas
         self.max_splits_per_node = max_splits_per_node
         self.probe_latency = probe_latency
+        self.health = health
         self.affinity_assignments = 0
         self.fallback_assignments = 0
+        self.health_skips = 0
 
     def assign(self, split: Split, load: dict[str, int]) -> SchedulerDecision:
         """Place one split given current per-worker queued-split counts.
@@ -83,6 +87,11 @@ class SoftAffinityScheduler:
         probes = 0
         for candidate in self.ring.candidates(split.file_id, self.max_replicas):
             probes += 1
+            if self.health is not None and not self.health.is_available(candidate):
+                # open breaker: skip without waiting for a timeout (the
+                # whole point of feeding health into placement)
+                self.health_skips += 1
+                continue
             if candidate in load and load[candidate] < self.max_splits_per_node:
                 self.affinity_assignments += 1
                 return SchedulerDecision(
@@ -91,7 +100,11 @@ class SoftAffinityScheduler:
                 )
         # Temporary inability to maintain soft-affinity: least-burdened
         # worker, cache bypassed (Section 6.1.2's final fallback).
-        least = min(load, key=lambda w: (load[w], w))
+        healthy = (
+            [w for w in load if self.health is None or self.health.is_available(w)]
+            or list(load)
+        )
+        least = min(healthy, key=lambda w: (load[w], w))
         self.fallback_assignments += 1
         return SchedulerDecision(
             worker=least, affinity=False, bypass_cache=True, probes=probes + 1

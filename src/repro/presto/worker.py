@@ -73,6 +73,16 @@ class Worker:
         )
         self.busy_seconds = 0.0
         self.splits_executed = 0
+        self.online = True
+
+    def fail(self) -> None:
+        """Crash the worker (container kill); splits sent here error out
+        until :meth:`recover`."""
+        self.online = False
+
+    def recover(self) -> None:
+        """Bring the worker back; its SSD cache contents survived."""
+        self.online = True
 
     def execute_split(
         self,
@@ -83,6 +93,8 @@ class Worker:
         bypass_cache: bool = False,
     ) -> OperatorResult:
         """Run one split scan; accumulates this worker's busy time."""
+        if not self.online:
+            raise ConnectionError(f"presto worker {self.name} is offline")
         result = self._operator.execute(
             split, profile, stats, bypass_cache=bypass_cache
         )

@@ -1,0 +1,118 @@
+"""Hedged reads: fire a backup request when the primary runs long.
+
+The consistent-hashing lesson of Section 7 handles nodes that are *dead*;
+hedging handles nodes that are *slow but alive* (a stalled SSD, a deep
+device queue).  The policy tracks recent request latencies and derives a
+percentile threshold; when a primary read's modelled latency exceeds the
+threshold, a backup request is launched on the sim clock at the threshold
+instant, and the request completes at::
+
+    min(primary_latency, threshold + backup_latency)
+
+which is exactly the tail-at-scale hedging formula under a virtual clock.
+Counters: ``hedged_requests`` (backups launched) and ``hedge_wins``
+(backup finished first).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+import numpy as np
+
+from repro.core.metrics import MetricsRegistry
+
+
+class HedgePolicy:
+    """Latency-percentile hedging decision + completion-time arithmetic.
+
+    Args:
+        threshold_percentile: hedge when the primary exceeds this percentile
+            of recently observed latencies (the classic choice is p95).
+        min_observations: observations required before hedging arms; until
+            then every read passes through unhedged.
+        max_history: sliding window of latency observations kept.
+        metrics: counter sink (``hedged_requests`` / ``hedge_wins``).
+    """
+
+    def __init__(
+        self,
+        *,
+        threshold_percentile: float = 95.0,
+        min_observations: int = 20,
+        max_history: int = 4096,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if not 0 < threshold_percentile < 100:
+            raise ValueError(
+                f"threshold_percentile must be in (0, 100), got {threshold_percentile}"
+            )
+        if min_observations < 1:
+            raise ValueError(
+                f"min_observations must be >= 1, got {min_observations}"
+            )
+        if max_history < min_observations:
+            raise ValueError("max_history must be >= min_observations")
+        self.threshold_percentile = threshold_percentile
+        self.min_observations = min_observations
+        self.metrics = metrics if metrics is not None else MetricsRegistry("hedge")
+        self._history: deque[float] = deque(maxlen=max_history)
+        self.hedged_requests = 0
+        self.hedge_wins = 0
+
+    # -- observation ---------------------------------------------------------
+
+    def observe(self, latency: float) -> None:
+        """Feed one completed request's latency into the window."""
+        if latency < 0:
+            raise ValueError(f"latency must be >= 0, got {latency}")
+        self._history.append(latency)
+
+    @property
+    def observations(self) -> int:
+        return len(self._history)
+
+    def threshold(self) -> float | None:
+        """Current hedge-trigger latency, or ``None`` while unarmed."""
+        if len(self._history) < self.min_observations:
+            return None
+        return float(
+            np.percentile(np.asarray(self._history), self.threshold_percentile)
+        )
+
+    def should_hedge(self, primary_latency: float) -> bool:
+        threshold = self.threshold()
+        return threshold is not None and primary_latency > threshold
+
+    # -- completion arithmetic -----------------------------------------------
+
+    def apply(
+        self, primary_latency: float, backup: Callable[[], float]
+    ) -> tuple[float, bool, bool]:
+        """Resolve one read: returns ``(effective_latency, hedged, won)``.
+
+        ``backup`` is invoked only when hedging triggers; it returns the
+        backup request's modelled latency (or raises, in which case the
+        primary result stands).  The effective latency is the virtual time
+        at which the *first* of the two copies completes.
+        """
+        threshold = self.threshold()
+        if threshold is None or primary_latency <= threshold:
+            self.observe(primary_latency)
+            return primary_latency, False, False
+        self.hedged_requests += 1
+        self.metrics.counter("hedged_requests").inc()
+        try:
+            backup_latency = backup()
+        except Exception:
+            # backup target failed; the slow primary still serves the read
+            self.observe(primary_latency)
+            return primary_latency, True, False
+        effective = min(primary_latency, threshold + backup_latency)
+        won = threshold + backup_latency < primary_latency
+        if won:
+            self.hedge_wins += 1
+            self.metrics.counter("hedge_wins").inc()
+        self.observe(effective)
+        return effective, True, won

@@ -1,0 +1,107 @@
+"""``ResilientDataSource``: retry + breaker + hedging around any source.
+
+This is the wrapper the remote-read paths put between themselves and an
+unreliable backend (object store, synthetic lake, DFS).  Per request it:
+
+1. consults the breaker -- an open breaker is recorded as degraded-mode
+   operation, and (because remote storage is the *final* fallback, with
+   nothing behind it) the request is still attempted rather than rejected;
+2. attempts the read under the retry policy: transient failures
+   (:class:`~repro.errors.RemoteReadError`, ``ConnectionError``) back off
+   exponentially with deterministic jitter, charged as virtual latency;
+   an attempt whose modelled latency exceeds the per-attempt deadline is
+   abandoned at the deadline and retried;
+3. optionally hedges the winning attempt through a
+   :class:`~repro.resilience.hedge.HedgePolicy`.
+
+``FileNotFoundInStorageError`` is permanent and never retried.  All
+outcomes are observable: ``retries`` / ``retry_exhausted`` /
+``degraded_serves`` counters plus per-operation error breakdowns.
+"""
+
+from __future__ import annotations
+
+from repro.core.metrics import MetricsRegistry
+from repro.errors import RemoteReadError, RetriesExhaustedError
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.hedge import HedgePolicy
+from repro.resilience.policy import RetryPolicy
+from repro.sim.rng import RngStream
+from repro.storage.remote import DataSource, ReadResult
+
+_RETRYABLE = (RemoteReadError, ConnectionError)
+
+
+class ResilientDataSource:
+    """A ``DataSource`` that survives transient backend failures."""
+
+    def __init__(
+        self,
+        inner: DataSource,
+        *,
+        policy: RetryPolicy | None = None,
+        rng: RngStream | None = None,
+        breaker: CircuitBreaker | None = None,
+        hedge: HedgePolicy | None = None,
+        metrics: MetricsRegistry | None = None,
+        operation: str = "remote_read",
+    ) -> None:
+        self.inner = inner
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.rng = rng if rng is not None else RngStream(0, "resilience/retry")
+        self.breaker = breaker
+        self.hedge = hedge
+        self.metrics = metrics if metrics is not None else MetricsRegistry("resilient-source")
+        self.operation = operation
+
+    def file_length(self, file_id: str) -> int:
+        return self.inner.file_length(file_id)
+
+    def read(self, file_id: str, offset: int, length: int) -> ReadResult:
+        policy = self.policy
+        breaker_open = self.breaker is not None and not self.breaker.allow()
+        extra_latency = 0.0
+        last_exc: Exception | None = None
+        for attempt in range(1, policy.max_attempts + 1):
+            try:
+                result = self.inner.read(file_id, offset, length)
+            except _RETRYABLE as exc:
+                last_exc = exc
+                self.metrics.record_error(self.operation, exc)
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                if attempt < policy.max_attempts:
+                    self.metrics.counter("retries").inc()
+                    extra_latency += policy.backoff(attempt, self.rng)
+                continue
+            if (
+                policy.attempt_timeout is not None
+                and result.latency > policy.attempt_timeout
+                and attempt < policy.max_attempts
+            ):
+                # the attempt ran past its deadline: abandon it there and
+                # retry (the abandoned attempt cost exactly the deadline)
+                self.metrics.record_error(self.operation, "AttemptDeadlineExceeded")
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                self.metrics.counter("retries").inc()
+                extra_latency += policy.attempt_timeout + policy.backoff(
+                    attempt, self.rng
+                )
+                continue
+            if self.breaker is not None:
+                self.breaker.record_success()
+            latency = result.latency
+            if self.hedge is not None:
+                latency, __, __ = self.hedge.apply(
+                    latency,
+                    lambda: self.inner.read(file_id, offset, length).latency,
+                )
+            if attempt > 1 or breaker_open:
+                self.metrics.counter("degraded_serves").inc()
+            return ReadResult(data=result.data, latency=extra_latency + latency)
+        self.metrics.counter("retry_exhausted").inc()
+        raise RetriesExhaustedError(
+            f"{self.operation} of {file_id!r} failed after "
+            f"{policy.max_attempts} attempts"
+        ) from last_exc

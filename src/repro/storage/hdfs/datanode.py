@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import BlockNotFoundError, StaleReadError
+from repro.errors import BlockNotFoundError, DataNodeOfflineError, StaleReadError
 from repro.storage.hdfs.block import Block, BlockId
 from repro.storage.device import DeviceProfile, StorageDevice
 from repro.sim.clock import Clock, SimClock
@@ -47,6 +47,7 @@ class DataNode:
         # bare block_id -> {generation_stamp -> Block}
         self._blocks: dict[int, dict[int, Block]] = {}
         self.restart_count = 0
+        self.online = True
 
     # -- storage ----------------------------------------------------------------
 
@@ -61,7 +62,12 @@ class DataNode:
         return identity.generation_stamp in self._blocks.get(identity.block_id, {})
 
     def block_length(self, identity: BlockId) -> int:
+        self._check_online()
         return self._get(identity).length
+
+    def _check_online(self) -> None:
+        if not self.online:
+            raise DataNodeOfflineError(f"DataNode {self.name} is offline")
 
     def _get(self, identity: BlockId) -> Block:
         versions = self._blocks.get(identity.block_id)
@@ -93,6 +99,7 @@ class DataNode:
         guaranteed by versioned storage: a generation stamp addresses one
         immutable (block, meta) pair).
         """
+        self._check_online()
         block = self._get(identity)
         if length is None:
             length = block.length - offset
@@ -124,6 +131,18 @@ class DataNode:
         """Simulate a DataNode process restart (Section 6.2.3: the cache's
         in-memory block mapping is lost; callers must clear their cache)."""
         self.restart_count += 1
+
+    def fail(self) -> None:
+        """Crash the node: reads are refused until :meth:`recover`.
+
+        Only the read path is gated -- the chaos scenarios exercise
+        degraded *serving*; block placement/writes stay NameNode business.
+        """
+        self.online = False
+
+    def recover(self) -> None:
+        """Bring the node back; its finalized blocks survived on the HDD."""
+        self.online = True
 
     # -- reporting --------------------------------------------------------------------
 

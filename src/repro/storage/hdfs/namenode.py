@@ -50,6 +50,7 @@ class NameNode:
         self.replication = replication
         self._files: dict[str, list[BlockId]] = {}
         self._locations: dict[int, list[DataNode]] = {}  # by bare block_id
+        self._lengths: dict[int, int] = {}  # metadata table (Section 6.2.1)
         self._block_counter = itertools.count()
         self._placement_cursor = 0
 
@@ -67,6 +68,7 @@ class NameNode:
             for node in self._place():
                 node.store_block(block)
                 self._locations.setdefault(identity.block_id, []).append(node)
+            self._lengths[identity.block_id] = len(chunk)
             blocks.append(identity)
         self._files[path] = blocks
         return self.get_file_status(path)
@@ -88,8 +90,16 @@ class NameNode:
         return FileStatus(path=path, blocks=tuple(blocks), length=length)
 
     def _block_length(self, identity: BlockId) -> int:
-        node = self.locate_block(identity)[0]
-        return node.block_length(identity)
+        # answered from the NameNode's own metadata table (Section 6.2.1),
+        # so file status never depends on DataNode availability
+        try:
+            return self._lengths[identity.block_id]
+        except KeyError:
+            raise BlockNotFoundError(str(identity)) from None
+
+    def block_length(self, identity: BlockId) -> int:
+        """Metadata-table lookup of one block's length (no DataNode I/O)."""
+        return self._block_length(identity)
 
     def exists(self, path: str) -> bool:
         return path in self._files
@@ -120,6 +130,7 @@ class NameNode:
         for node in self.locate_block(last):
             new_identity = node.append_block(last, extra)
         assert new_identity is not None
+        self._lengths[last.block_id] = self._lengths.get(last.block_id, 0) + len(extra)
         self._files[path][-1] = new_identity
         return new_identity
 
@@ -130,6 +141,7 @@ class NameNode:
         except KeyError:
             raise FileNotFoundInStorageError(path) from None
         for identity in blocks:
+            self._lengths.pop(identity.block_id, None)
             for node in self._locations.pop(identity.block_id, []):
                 node.delete_block(identity)
         return blocks

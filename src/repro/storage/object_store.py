@@ -18,7 +18,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import FileNotFoundInStorageError
+from repro.errors import (
+    FileNotFoundInStorageError,
+    RemoteCorruptionError,
+    RemoteReadError,
+)
 from repro.sim.clock import Clock, SimClock
 
 
@@ -73,6 +77,14 @@ class ObjectStore:
         self.request_count = 0
         self.bytes_served = 0
         self.throttled_requests = 0
+        # chaos injection: a RemoteFaultState (duck-typed to avoid importing
+        # the resilience package) plus the rng stream drawing its dice, both
+        # armed by ChaosInjector.set_remote_faults
+        self.chaos = None
+        self.chaos_rng = None
+        self.chaos_failures = 0
+        self.chaos_corruptions = 0
+        self.chaos_delays = 0
 
     # -- namespace -----------------------------------------------------------
 
@@ -105,8 +117,38 @@ class ObjectStore:
         data = payload[offset : offset + length]
         latency = self._request_latency(len(data))
         self.request_count += 1
+        latency = self._apply_chaos(name, latency)
         self.bytes_served += len(data)
         return data, latency
+
+    def set_chaos(self, state, rng) -> None:
+        """Arm (or, with an inactive state, disarm) request-level faults."""
+        self.chaos = state
+        self.chaos_rng = rng
+
+    def _apply_chaos(self, name: str, latency: float) -> float:
+        """Roll injected request faults; failed requests still count as API
+        calls (the provider billed them) before the error surfaces."""
+        state = self.chaos
+        if state is None or self.chaos_rng is None or not state.active:
+            return latency
+        rng = self.chaos_rng.rng
+        if state.fail_probability > 0 and float(rng.random()) < state.fail_probability:
+            self.chaos_failures += 1
+            raise RemoteReadError(f"injected object-store failure on {name!r}")
+        if state.corrupt_probability > 0 and (
+            float(rng.random()) < state.corrupt_probability
+        ):
+            self.chaos_corruptions += 1
+            raise RemoteCorruptionError(
+                f"injected object-store corruption on {name!r}"
+            )
+        if state.delay_probability > 0 and (
+            float(rng.random()) < state.delay_probability
+        ):
+            self.chaos_delays += 1
+            return latency + state.delay_seconds
+        return latency
 
     def _request_latency(self, size: int) -> float:
         latency = self.profile.base_latency + size / self.profile.bandwidth

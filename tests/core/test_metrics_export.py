@@ -71,3 +71,22 @@ class TestFleetExport:
         assert doc["errors"]["put"]["OSError"] == 3
         parsed = json.loads(fleet_to_json(fleet))
         assert parsed["nodes"] == 3
+
+
+class TestLabelEscaping:
+    def test_special_characters_escaped(self):
+        registry = MetricsRegistry('node"1\\odd\nname')
+        registry.counter("get_hits").inc()
+        text = to_prometheus_text(registry)
+        assert 'instance="node\\"1\\\\odd\\nname"' in text
+        # no raw newline may survive inside a label value: every exposition
+        # line must be a complete sample ending in a value
+        for line in text.splitlines():
+            assert line.endswith(("}", "0", "1")) or line.split()[-1]
+            assert "\n" not in line
+        assert 'node"1' not in text  # the raw, unescaped value is gone
+
+    def test_plain_names_unchanged(self):
+        registry = MetricsRegistry("worker-0")
+        registry.counter("get_hits").inc()
+        assert 'instance="worker-0"' in to_prometheus_text(registry)

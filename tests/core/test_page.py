@@ -111,3 +111,65 @@ class TestPagesForRange:
         frags = pages_for_range("f", offset, length, page_size)
         indices = [p.page_index for p, __, __ in frags]
         assert indices == sorted(set(indices))
+
+
+class TestTimeSource:
+    def test_default_created_at_is_wall_clock(self):
+        import time
+
+        from repro.core.page import now_wall
+
+        before = time.time()
+        info = PageInfo(PageId("f", 0), size=10)
+        after = time.time()
+        assert before <= info.created_at <= after
+        assert info.last_access == info.created_at
+        assert before <= now_wall() <= time.time()
+
+    def test_explicit_created_at_bypasses_source(self):
+        from repro.core.page import reset_time_source, set_time_source
+
+        set_time_source(lambda: 999.0)
+        try:
+            info = PageInfo(PageId("f", 0), size=10, created_at=5.0)
+            assert info.created_at == 5.0
+        finally:
+            reset_time_source()
+
+    def test_injected_source_stamps_new_pages(self):
+        from repro.core.page import reset_time_source, set_time_source
+        from repro.sim.clock import SimClock
+
+        clock = SimClock()
+        clock.advance(42.0)
+        set_time_source(clock.now)
+        try:
+            info = PageInfo(PageId("f", 0), size=10)
+            assert info.created_at == 42.0
+            clock.advance(8.0)
+            assert PageInfo(PageId("f", 1), size=10).created_at == 50.0
+        finally:
+            reset_time_source()
+
+    def test_reset_restores_wall_clock(self):
+        import time
+
+        from repro.core.page import reset_time_source, set_time_source
+
+        set_time_source(lambda: -1.0)
+        reset_time_source()
+        info = PageInfo(PageId("f", 0), size=10)
+        assert abs(info.created_at - time.time()) < 60.0
+
+    def test_ttl_expiry_against_injected_clock(self):
+        from repro.core.page import reset_time_source, set_time_source
+        from repro.sim.clock import SimClock
+
+        clock = SimClock()
+        set_time_source(clock.now)
+        try:
+            info = PageInfo(PageId("f", 0), size=10, ttl=30.0)
+            assert not info.is_expired(clock.now() + 29.9)
+            assert info.is_expired(clock.now() + 30.0)
+        finally:
+            reset_time_source()

@@ -128,3 +128,42 @@ class TestRecoverCache:
         __, manager = self._populate(tmp_path)
         state = manager.journal.replay()
         assert state["file-a"][0] == SCOPE
+
+
+class TestCompactCrashSafety:
+    def test_compact_is_atomic_replace(self, tmp_path, monkeypatch):
+        """compact() never truncates in place: the rewrite goes through a
+        temp file and os.replace, so a crash before the swap leaves the old
+        journal fully intact."""
+        import os as _os
+
+        journal = ScopeJournal(tmp_path)
+        for n in range(5):
+            journal.record(f"f{n}", SCOPE)
+            journal.record(f"f{n}", CacheScope.global_scope())
+        before = journal.path.read_text()
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash before swap")
+
+        monkeypatch.setattr(_os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            journal.compact()
+        # the live journal is untouched and still replays
+        assert journal.path.read_text() == before
+        state = ScopeJournal(tmp_path).replay()
+        assert len(state) == 5
+
+    def test_compact_leaves_no_temp_file(self, tmp_path):
+        journal = ScopeJournal(tmp_path)
+        journal.record("f", SCOPE)
+        journal.compact()
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_compact_then_record_continues(self, tmp_path):
+        journal = ScopeJournal(tmp_path)
+        journal.record("f", SCOPE)
+        journal.compact()
+        journal.record("g", SCOPE)
+        assert len(ScopeJournal(tmp_path).replay()) == 2

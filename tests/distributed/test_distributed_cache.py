@@ -147,3 +147,43 @@ class TestFailover:
         for file_id, owner in mapping_before.items():
             if owner != victim:
                 assert client.ring.candidates(file_id, 1)[0] == owner
+
+
+class TestCrashMidRead:
+    def _primary_for(self, client, file_id):
+        return client.ring.candidates(file_id, 1)[0]
+
+    def test_crash_mid_read_fails_over(self):
+        """A worker dying while serving drops the connection; the client
+        counts a failover and the secondary replica serves the bytes."""
+        __, source, workers, client = make_tier()
+        primary_name = self._primary_for(client, "lake/file-0")
+        client.worker(primary_name).schedule_crash_after(1)
+        result = client.read("lake/file-0", 0, 64 * KIB)
+        assert result.data == source.read("lake/file-0", 0, 64 * KIB).data
+        assert client.failovers == 1
+        assert client.metrics.counter("failovers").value == 1
+        assert client.metrics.counter("degraded_serves").value == 1
+        assert not client.worker(primary_name).online
+        assert client.remote_fallbacks == 0
+
+    def test_crash_mid_read_remote_fallback_when_single_worker(self):
+        """With no replica to fail over to, the read falls back to remote
+        storage and is accounted as degraded -- never an error."""
+        __, source, workers, client = make_tier(n_workers=1)
+        workers[0].schedule_crash_after(1)
+        result = client.read("lake/file-2", 0, 64 * KIB)
+        assert result.data == source.read("lake/file-2", 0, 64 * KIB).data
+        assert client.failovers == 1
+        assert client.remote_fallbacks == 1
+        assert client.metrics.counter("remote_fallbacks").value == 1
+
+    def test_crash_countdown_hits_nth_request(self):
+        __, __, workers, client = make_tier(n_workers=1)
+        workers[0].schedule_crash_after(3)
+        client.read("lake/file-3", 0, KIB)
+        client.read("lake/file-3", 0, KIB)
+        assert workers[0].online
+        client.read("lake/file-3", 0, KIB)  # third read kills it mid-serve
+        assert not workers[0].online
+        assert client.failovers == 1

@@ -144,3 +144,61 @@ class TestQueryProfileValidation:
                          profile=ScanProfile(columns_read=1, row_group_selectivity=1.0))
         resolved = scan.resolve_partitions(catalog.table("s.t"))
         assert resolved == ["ds=0000", "ds=0001"]
+
+
+class TestSplitFailover:
+    def test_offline_worker_splits_reassigned(self):
+        """A worker crashing mid-query drops its splits onto survivors; the
+        query completes with failovers counted, not an error."""
+        cluster, __, __ = make_cluster(n_workers=4)
+        cluster.workers["worker-1"].fail()
+        result = cluster.coordinator.run_query(simple_query())
+        assert result.stats.splits > 0
+        assert cluster.workers["worker-1"].splits_executed == 0
+        executed = sum(w.splits_executed for w in cluster.workers.values())
+        assert executed >= result.stats.splits
+
+    def test_failover_counted_when_worker_dies_between_queries(self):
+        cluster, __, __ = make_cluster(n_workers=4)
+        coordinator = cluster.coordinator
+        coordinator.run_query(simple_query("q-warm"))
+        cluster.workers["worker-0"].fail()
+        result = coordinator.run_query(simple_query("q-degraded"))
+        assert result.stats.splits > 0
+        # worker-0 was still in the query's load view, so at least one split
+        # had to fail over when its assignment landed there
+        if coordinator.split_failovers:
+            assert coordinator.metrics.counter("failovers").value == (
+                coordinator.split_failovers
+            )
+
+    def test_all_workers_down_raises_scheduler_error(self):
+        from repro.errors import SchedulerError
+
+        cluster, __, __ = make_cluster(n_workers=2)
+        for worker in cluster.workers.values():
+            worker.fail()
+        with pytest.raises(SchedulerError):
+            cluster.coordinator.run_query(simple_query())
+
+    def test_health_feeds_scheduler_skips(self):
+        from repro.resilience import BreakerBoard, NodeHealthTracker
+        from repro.sim.clock import SimClock
+
+        clock = SimClock()
+        health = NodeHealthTracker(
+            clock=clock, breakers=BreakerBoard(clock=clock, min_volume=1)
+        )
+        cluster, __, __ = make_cluster(n_workers=4, clock=clock, health=health)
+        health.record_failure("worker-2")  # breaker opens (min_volume=1)
+        result = cluster.coordinator.run_query(simple_query())
+        assert result.stats.splits > 0
+        assert cluster.workers["worker-2"].splits_executed == 0
+
+    def test_recovered_worker_serves_again(self):
+        cluster, __, __ = make_cluster(n_workers=2)
+        cluster.workers["worker-0"].fail()
+        cluster.coordinator.run_query(simple_query("q1"))
+        cluster.workers["worker-0"].recover()
+        cluster.coordinator.run_query(simple_query("q2", partition_fraction=1.0))
+        assert cluster.workers["worker-0"].splits_executed > 0

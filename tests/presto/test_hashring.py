@@ -135,3 +135,66 @@ def test_candidates_always_online_and_distinct(keys):
         assert len(candidates) == len(set(candidates))
         assert "worker-0" not in candidates
         assert all(c in ring.online_nodes for c in candidates)
+
+
+class TestOfflineTimeoutEdges:
+    """Edge cases around the offline-timeout window (chaos scenarios)."""
+
+    def test_exact_timeout_boundary(self):
+        """Eviction is inclusive at exactly ``offline_timeout`` seconds --
+        and exclusive one tick before."""
+        ring = make_ring(3, offline_timeout=600.0)
+        ring.mark_offline("worker-0", now=100.0)
+        assert ring.evict_expired(now=699.999) == []
+        assert "worker-0" in ring.nodes
+        assert ring.evict_expired(now=700.0) == ["worker-0"]
+        assert "worker-0" not in ring.nodes
+
+    def test_zero_timeout_evicts_immediately(self):
+        ring = make_ring(2, offline_timeout=0.0)
+        ring.mark_offline("worker-1", now=50.0)
+        assert ring.evict_expired(now=50.0) == ["worker-1"]
+
+    def test_two_nodes_down_simultaneously(self):
+        """Both down: lookups fall through to survivors; each node expires
+        on its own schedule."""
+        ring = make_ring(4, offline_timeout=600.0)
+        ring.mark_offline("worker-0", now=0.0)
+        ring.mark_offline("worker-1", now=100.0)
+        for n in range(50):
+            candidates = ring.candidates(f"file-{n}", 2)
+            assert candidates
+            assert set(candidates) <= {"worker-2", "worker-3"}
+        # worker-0's window elapses first
+        assert ring.evict_expired(now=600.0) == ["worker-0"]
+        assert "worker-1" in ring.nodes
+        assert ring.evict_expired(now=700.0) == ["worker-1"]
+
+    def test_all_nodes_down_yields_no_candidates(self):
+        ring = make_ring(2)
+        ring.mark_offline("worker-0", now=0.0)
+        ring.mark_offline("worker-1", now=0.0)
+        assert ring.candidates("file-x", 2) == []
+        assert ring.primary("file-x") is None
+
+    def test_reregistration_after_eviction(self):
+        """A node that rejoins after permanent eviction serves again and
+        regains its original key mapping (hash positions are name-derived,
+        so the seat layout is identical)."""
+        ring = make_ring(4, offline_timeout=100.0)
+        before = {f"file-{n}": ring.primary(f"file-{n}") for n in range(100)}
+        ring.mark_offline("worker-2", now=0.0)
+        assert ring.evict_expired(now=100.0) == ["worker-2"]
+        assert "worker-2" not in ring.nodes
+        ring.add_node("worker-2")
+        assert ring.is_online("worker-2")
+        after = {k: ring.primary(k) for k in before}
+        assert after == before
+
+    def test_rejoin_while_offline_clears_mark(self):
+        """add_node on a currently-offline member acts as mark_online."""
+        ring = make_ring(3, offline_timeout=600.0)
+        ring.mark_offline("worker-1", now=0.0)
+        ring.add_node("worker-1")
+        assert ring.is_online("worker-1")
+        assert ring.evict_expired(now=10_000.0) == []

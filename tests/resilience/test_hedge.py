@@ -1,0 +1,78 @@
+"""Tests for hedged-read policy arithmetic."""
+
+import pytest
+
+from repro.resilience import HedgePolicy
+
+
+def armed_policy(baseline=0.1, n=20, **kwargs):
+    policy = HedgePolicy(min_observations=n, **kwargs)
+    for _ in range(n):
+        policy.observe(baseline)
+    return policy
+
+
+class TestArming:
+    def test_unarmed_until_min_observations(self):
+        policy = HedgePolicy(min_observations=5)
+        for _ in range(4):
+            policy.observe(0.1)
+        assert policy.threshold() is None
+        assert not policy.should_hedge(100.0)
+
+    def test_threshold_is_percentile(self):
+        policy = HedgePolicy(min_observations=10, threshold_percentile=95.0)
+        for latency in range(1, 101):
+            policy.observe(float(latency))
+        assert policy.threshold() == pytest.approx(95.05, abs=0.5)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            HedgePolicy(threshold_percentile=0.0)
+        with pytest.raises(ValueError):
+            HedgePolicy(min_observations=0)
+        with pytest.raises(ValueError):
+            HedgePolicy(min_observations=10, max_history=5)
+        with pytest.raises(ValueError):
+            HedgePolicy().observe(-1.0)
+
+
+class TestApply:
+    def test_fast_primary_passes_through(self):
+        policy = armed_policy(baseline=0.1)
+        effective, hedged, won = policy.apply(0.05, lambda: 0.0)
+        assert (effective, hedged, won) == (0.05, False, False)
+
+    def test_backup_wins_when_primary_is_slow(self):
+        policy = armed_policy(baseline=0.1)
+        threshold = policy.threshold()
+        effective, hedged, won = policy.apply(10.0, lambda: 0.1)
+        assert hedged and won
+        assert effective == pytest.approx(threshold + 0.1)
+        assert policy.hedged_requests == 1
+        assert policy.hedge_wins == 1
+        assert policy.metrics.counter("hedged_requests").value == 1
+        assert policy.metrics.counter("hedge_wins").value == 1
+
+    def test_primary_wins_when_backup_is_slower(self):
+        policy = armed_policy(baseline=0.1)
+        effective, hedged, won = policy.apply(0.2, lambda: 50.0)
+        assert hedged and not won
+        assert effective == 0.2
+        assert policy.hedge_wins == 0
+
+    def test_backup_exception_lets_primary_stand(self):
+        policy = armed_policy(baseline=0.1)
+
+        def broken_backup():
+            raise ConnectionError("no live backup")
+
+        effective, hedged, won = policy.apply(5.0, broken_backup)
+        assert (effective, hedged, won) == (5.0, True, False)
+        assert policy.hedged_requests == 1
+
+    def test_effective_latency_feeds_history(self):
+        policy = armed_policy(baseline=0.1, n=5)
+        before = policy.observations
+        policy.apply(10.0, lambda: 0.1)
+        assert policy.observations == before + 1

@@ -4,6 +4,7 @@ import pytest
 
 from repro.errors import (
     BlockNotFoundError,
+    DataNodeOfflineError,
     FileNotFoundInStorageError,
     StaleReadError,
 )
@@ -190,3 +191,88 @@ class TestClientReads:
         client.create("/f", b"x")
         with pytest.raises(ValueError):
             client.read("/f", -1, 10)
+
+
+class TestReplicaFailover:
+    def make_replicated(self, n_nodes=3, replication=2):
+        clock = SimClock()
+        nodes = [DataNode(f"dn{i}", clock=clock) for i in range(n_nodes)]
+        namenode = NameNode(nodes, block_size=1000, replication=replication)
+        return clock, nodes, namenode, DfsClient(namenode)
+
+    def test_read_fails_over_to_live_replica(self):
+        __, nodes, namenode, client = self.make_replicated()
+        client.create("/f", b"z" * 1500)
+        first_block_nodes = namenode.locate_block(
+            namenode.get_file_status("/f").blocks[0]
+        )
+        first_block_nodes[0].fail()
+        result = client.read_fully("/f")
+        assert result.data == b"z" * 1500
+        assert client.metrics.counter("failovers").value >= 1
+
+    def test_all_replicas_down_exhausts_retries(self):
+        from repro.errors import RetriesExhaustedError
+
+        __, nodes, __, client = self.make_replicated()
+        client.create("/f", b"z" * 500)
+        for node in nodes:
+            node.fail()
+        with pytest.raises(RetriesExhaustedError):
+            client.read("/f", 0, 500)
+        assert client.metrics.counter("retry_exhausted").value == 1
+
+    def test_backoff_charged_as_latency_on_recovery_round(self):
+        """When every replica fails the first round but recovers before the
+        second, the read succeeds with the backoff charged as latency."""
+        from repro.resilience import RetryPolicy
+
+        clock = SimClock()
+        nodes = [DataNode(f"dn{i}", clock=clock) for i in range(2)]
+        namenode = NameNode(nodes, block_size=1000, replication=2)
+        client = DfsClient(
+            namenode,
+            retry_policy=RetryPolicy(max_attempts=2, base_delay=0.5, jitter=0.0),
+        )
+        client.create("/f", b"q" * 400)
+        baseline = client.read("/f", 0, 400).latency
+
+        original_read = DataNode.read_block
+        calls = {"n": 0}
+
+        def flaky_read(node_self, identity, offset=0, length=None):
+            # both replicas refuse the first round; the retry round succeeds
+            calls["n"] += 1
+            if calls["n"] <= len(nodes):
+                raise DataNodeOfflineError(f"{node_self.name} transient")
+            return original_read(node_self, identity, offset, length)
+
+        DataNode.read_block = flaky_read
+        try:
+            result = client.read("/f", 0, 400)
+        finally:
+            DataNode.read_block = original_read
+        assert result.data == b"q" * 400
+        # the 0.5s backoff is charged on top of device time (the HDD model
+        # is stateful, so the exact device latency drifts between reads)
+        assert result.latency >= baseline + 0.5 - 1e-9
+        assert client.metrics.counter("retries").value == 1
+        assert client.metrics.counter("degraded_serves").value == 1
+
+    def test_breaker_skips_dead_replica_without_attempt(self):
+        from repro.resilience import BreakerBoard, NodeHealthTracker
+
+        clock = SimClock()
+        nodes = [DataNode(f"dn{i}", clock=clock) for i in range(2)]
+        namenode = NameNode(nodes, block_size=1000, replication=2)
+        health = NodeHealthTracker(
+            clock=clock, breakers=BreakerBoard(clock=clock, min_volume=1)
+        )
+        client = DfsClient(namenode, health=health)
+        client.create("/f", b"k" * 300)
+        nodes[0].fail()
+        client.read("/f", 0, 300)          # records the failure, trips breaker
+        assert not health.is_available("dn0")
+        before = client.metrics.counter("failovers").value
+        client.read("/f", 0, 300)          # dn0 skipped: no new failover
+        assert client.metrics.counter("failovers").value == before
