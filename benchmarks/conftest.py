@@ -1,14 +1,43 @@
-"""Benchmark-suite pytest config: make the repo root importable.
+"""Benchmark-suite pytest config: importability + mandatory SimClock.
 
 The benchmarks share helpers in ``benchmarks/harness.py``; adding the
 directory to ``sys.path`` keeps ``from harness import ...`` working no
 matter where pytest is invoked from.
+
+The autouse fixture below makes SimClock injection *mandatory* for every
+benchmark: the module time source that stamps ``PageInfo`` objects built
+without an explicit ``created_at`` is replaced by a guard that raises, so
+a scenario that would silently mix wall-clock timestamps into virtual
+time fails loudly instead.  Scenarios install their own clock with
+``installed_time_source(clock.now)`` (see ``test_chaos_soak.run_soak``),
+which scopes over the guard and restores it on exit.
 """
 
 import sys
 from pathlib import Path
 
+import pytest
+
 _HERE = Path(__file__).resolve().parent
 for path in (str(_HERE), str(_HERE.parent / "src")):
     if path not in sys.path:
         sys.path.insert(0, path)
+
+from repro.core import page  # noqa: E402  (needs the sys.path fix above)
+
+
+def _wall_clock_forbidden() -> float:
+    raise RuntimeError(
+        "benchmark read the wall clock: simulation entry points must "
+        "inject a SimClock -- wrap the scenario in "
+        "installed_time_source(clock.now) (determinism invariant DET001)"
+    )
+
+
+@pytest.fixture(autouse=True)
+def _mandatory_sim_clock():
+    page.set_time_source(_wall_clock_forbidden)
+    try:
+        yield
+    finally:
+        page.reset_time_source()

@@ -28,10 +28,12 @@ Run explicitly (benchmarks are not part of tier-1)::
 
 import os
 
+import pytest
 from harness import emit_report
 
 from repro.core.config import MIB
 from repro.core.metrics import MetricsRegistry
+from repro.core.page import installed_time_source
 from repro.core.metrics_export import to_json_dict
 from repro.distributed.client import DistributedCacheClient
 from repro.distributed.worker import CacheWorker
@@ -47,6 +49,7 @@ from repro.resilience import (
 from repro.sim.clock import SimClock
 from repro.sim.events import EventLoop
 from repro.sim.rng import RngStream
+from repro.sim.sanitizer import DeterminismHarness
 from repro.storage.object_store import ObjectStore
 from repro.storage.remote import ObjectStoreDataSource
 from repro.workload.zipf import ZipfSampler
@@ -96,7 +99,15 @@ class _TierNode:
 
 
 def run_soak(seed: int, n_requests: int = N_REQUESTS) -> dict:
+    """One soak run under mandatory SimClock injection: the virtual clock
+    is installed as the page time source for the scenario's whole extent,
+    so no ``PageInfo`` stamp can silently read the wall clock."""
     clock = SimClock()
+    with installed_time_source(clock.now):
+        return _run_soak(clock, seed, n_requests)
+
+
+def _run_soak(clock: SimClock, seed: int, n_requests: int) -> dict:
     root = RngStream(seed, "chaos-soak")
     metrics = MetricsRegistry("chaos-soak")
 
@@ -288,3 +299,30 @@ class TestChaosSoakDeterminism:
         a = run_soak(SEED, n_requests=n)
         c = run_soak(SEED + 1, n_requests=n)
         assert a != c
+
+    @pytest.mark.determinism
+    def test_sanitizer_double_run_hashes_match(self):
+        """The CI sanitizer gate: DeterminismHarness replays the quick
+        soak scenario twice from one seed and demands identical rolling
+        hashes over the (event type, virtual timestamp, actor) trail."""
+        n = 480
+
+        def scenario(trace):
+            result = run_soak(SEED, n_requests=n)
+            trace.record_all(result["chaos_events"])
+            trace.record_all(result["breaker_events"])
+            trace.record(
+                "soak-summary", SOAK_SECONDS, "tier",
+                detail=(
+                    f"hit={result['final_hit_ratio']}"
+                    f"|errors={result['errors']}"
+                    f"|latency={result['latency_sum']}"
+                    f"|failovers={result['failovers']}"
+                ),
+            )
+            return result["counters"]
+
+        report = DeterminismHarness(scenario).check()
+        assert report.deterministic
+        assert report.hash_first == report.hash_second
+        assert report.events_first > 3  # kills + breaker activity + summary

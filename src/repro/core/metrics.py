@@ -132,7 +132,7 @@ class MetricsRegistry:
     ``evictions`` / ``evicted_bytes`` / ``ttl_evictions`` -- reclaim stats,
     ``timeout_fallbacks`` / ``corruption_evictions`` -- Section 8 paths,
     ``retries`` / ``retry_exhausted`` / ``hedged_requests`` / ``hedge_wins``
-    / ``breaker_trips`` / ``breaker_rejections`` / ``breaker_probes`` /
+    / ``hedge_errors`` / ``breaker_trips`` / ``breaker_rejections`` / ``breaker_probes`` /
     ``failovers`` / ``remote_fallbacks`` / ``degraded_serves`` /
     ``chaos_faults_injected`` -- the resilience layer's decision trail
     (every retry/hedge/breaker decision is observable, per the Section 7
@@ -157,6 +157,7 @@ class MetricsRegistry:
         "retry_exhausted",
         "hedged_requests",
         "hedge_wins",
+        "hedge_errors",
         "breaker_trips",
         "breaker_rejections",
         "breaker_probes",

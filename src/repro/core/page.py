@@ -13,9 +13,10 @@ keeps :class:`PageId` format-agnostic.
 
 from __future__ import annotations
 
+import contextlib
 import time as _time
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Iterator
 
 from repro.core.scope import CacheScope
 
@@ -153,3 +154,25 @@ def reset_time_source() -> None:
     """Restore the default wall-clock time source."""
     global _time_source
     _time_source = _time.time
+
+
+@contextlib.contextmanager
+def installed_time_source(source: Callable[[], float]) -> Iterator[None]:
+    """Scoped :func:`set_time_source`: install, run, restore.
+
+    Simulation entry points (benchmark harnesses, the chaos soak, the
+    trace replayer) wrap their scenario in this so *every* ``PageInfo``
+    stamp -- including ones constructed without an explicit ``created_at``
+    deep inside a substrate -- reads virtual time.  The previous source is
+    restored even on error, so an override never leaks across scenarios::
+
+        with installed_time_source(clock.now):
+            run_scenario()
+    """
+    global _time_source
+    previous = _time_source
+    _time_source = source
+    try:
+        yield
+    finally:
+        _time_source = previous

@@ -1,0 +1,35 @@
+"""``replint``: repo-specific static analysis that gates CI.
+
+Every number this reproduction reports (hit ratios, blocked-process
+counts, chaos-soak recovery curves) is only meaningful because the
+simulation is bit-for-bit deterministic.  That property is enforced by
+convention -- :class:`~repro.sim.clock.SimClock`,
+:class:`~repro.sim.rng.RngStream`, the injectable page time source -- and
+conventions rot.  This package is the tooling that keeps them honest:
+
+- :mod:`repro.devtools.rules` -- the rule set (``DET*`` determinism,
+  ``ERR*`` error accounting, ``MET*`` metric hygiene, ``SIM*`` simulation
+  purity, ``API*``/``LOG*`` general hygiene),
+- :mod:`repro.devtools.driver` -- a single-parse AST driver that runs
+  every applicable rule over every file,
+- :mod:`repro.devtools.config` -- per-rule path scoping and per-path
+  allowlists (an allowlist entry is a *documented exception*, not an
+  escape hatch),
+- :mod:`repro.devtools.baseline` -- fingerprint-based baselines so the
+  gate can be adopted before every legacy finding is fixed,
+- :mod:`repro.devtools.reporters` -- human (text) and machine (JSON)
+  output,
+- :mod:`repro.devtools.lint` -- the CLI:
+  ``python -m repro.devtools.lint src tests benchmarks``.
+
+The runtime half of the suite -- the determinism sanitizer that replays a
+scenario twice and diffs the event-sequence hash -- lives in
+:mod:`repro.sim.sanitizer`; CI runs both.
+"""
+
+from repro.devtools.config import LintConfig
+from repro.devtools.driver import LintDriver
+from repro.devtools.findings import Finding
+from repro.devtools.rules import ALL_RULES, Rule
+
+__all__ = ["ALL_RULES", "Finding", "LintConfig", "LintDriver", "Rule"]

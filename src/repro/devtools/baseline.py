@@ -1,0 +1,65 @@
+"""Baseline files: adopt the gate now, burn down legacy findings later.
+
+A baseline is a JSON list of finding fingerprints (see
+:meth:`~repro.devtools.findings.Finding.fingerprint`).  The lint gate
+fails only on findings *not* in the baseline, so a new rule can land with
+its existing violations recorded and tracked instead of blocking every
+unrelated PR.  The committed baseline for this repo is empty -- the one
+real finding the suite surfaced (``resilience/hedge.py`` swallowing
+backup failures) was fixed rather than baselined -- but the mechanism is
+what makes future rules adoptable.
+
+Baselines are written sorted and with context (location, message) so the
+file is reviewable, but only the fingerprints are authoritative.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.devtools.findings import Finding, sort_findings
+
+FORMAT_VERSION = 1
+
+
+def load_baseline(path: str | Path) -> frozenset[str]:
+    """Return the set of baselined fingerprints (empty if file is absent)."""
+    file = Path(path)
+    if not file.exists():
+        return frozenset()
+    raw = json.loads(file.read_text(encoding="utf-8"))
+    if not isinstance(raw, dict) or raw.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"{file}: not a replint baseline (want version {FORMAT_VERSION})"
+        )
+    return frozenset(entry["fingerprint"] for entry in raw.get("findings", []))
+
+
+def write_baseline(path: str | Path, findings: list[Finding]) -> int:
+    """Persist ``findings`` as the new baseline; returns entries written."""
+    entries = [
+        {
+            "fingerprint": finding.fingerprint(),
+            "rule": finding.rule_id,
+            "location": finding.location(),
+            "message": finding.message,
+        }
+        for finding in sort_findings(findings)
+    ]
+    payload = {"version": FORMAT_VERSION, "findings": entries}
+    Path(path).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    return len(entries)
+
+
+def split_by_baseline(
+    findings: list[Finding], baselined: frozenset[str]
+) -> tuple[list[Finding], list[Finding]]:
+    """``(new, suppressed)`` partition of ``findings`` against a baseline."""
+    new: list[Finding] = []
+    suppressed: list[Finding] = []
+    for finding in findings:
+        (suppressed if finding.fingerprint() in baselined else new).append(finding)
+    return new, suppressed

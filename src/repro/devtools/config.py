@@ -1,0 +1,95 @@
+"""Per-rule path scoping and allowlists.
+
+Every rule ships a default scope (``include`` prefixes) and a default
+allowlist (documented exceptions such as the ``core/page.py`` time-source
+shim).  A JSON config file can extend either, or disable a rule outright::
+
+    {
+        "DET001": {"allow": ["src/repro/experimental/replay.py"]},
+        "disable": ["API001"]
+    }
+
+Allowlist entries are matched as path *prefixes* (a directory entry covers
+everything under it), on repo-relative posix paths.  Keeping the defaults
+in code -- next to the rule they scope -- means an allowlist edit shows up
+in review as a diff to a named, documented exception list.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.devtools.rules import Rule, default_rules
+
+
+def _matches_prefix(path: str, prefixes: tuple[str, ...]) -> bool:
+    return any(
+        path == prefix or path.startswith(prefix.rstrip("/") + "/")
+        for prefix in prefixes
+    )
+
+
+@dataclass
+class LintConfig:
+    """Resolved scoping for one lint run."""
+
+    #: rule_id -> extra allowlist prefixes (merged over rule defaults)
+    extra_allow: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: rule_id -> replacement include prefixes (overrides rule defaults)
+    include_override: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: rule ids disabled outright
+    disabled: frozenset[str] = frozenset()
+
+    @classmethod
+    def load(cls, path: str | Path) -> "LintConfig":
+        """Parse the JSON config format documented above."""
+        raw = json.loads(Path(path).read_text(encoding="utf-8"))
+        if not isinstance(raw, dict):
+            raise ValueError(f"lint config must be a JSON object, got {type(raw).__name__}")
+        extra_allow: dict[str, tuple[str, ...]] = {}
+        include_override: dict[str, tuple[str, ...]] = {}
+        disabled = frozenset(raw.pop("disable", ()))
+        for rule_id, section in raw.items():
+            if not isinstance(section, dict):
+                raise ValueError(f"config section for {rule_id} must be an object")
+            if "allow" in section:
+                extra_allow[rule_id] = tuple(section["allow"])
+            if "include" in section:
+                include_override[rule_id] = tuple(section["include"])
+        return cls(
+            extra_allow=extra_allow,
+            include_override=include_override,
+            disabled=disabled,
+        )
+
+    # -- queries the driver asks --------------------------------------------
+
+    def rule_enabled(self, rule: Rule) -> bool:
+        return rule.rule_id not in self.disabled
+
+    def applies(self, rule: Rule, path: str) -> bool:
+        """Is ``path`` in scope for ``rule`` and not allowlisted?"""
+        include = self.include_override.get(rule.rule_id, rule.include)
+        if not _matches_prefix(path, tuple(include)):
+            return False
+        allow = rule.allow + self.extra_allow.get(rule.rule_id, ())
+        return not _matches_prefix(path, tuple(allow))
+
+    def describe(self) -> list[dict]:
+        """Rule table for ``--list-rules``: id, description, scope."""
+        rows = []
+        for rule in default_rules():
+            include = self.include_override.get(rule.rule_id, rule.include)
+            allow = rule.allow + self.extra_allow.get(rule.rule_id, ())
+            rows.append(
+                {
+                    "rule": rule.rule_id,
+                    "description": rule.description,
+                    "enabled": self.rule_enabled(rule),
+                    "include": list(include),
+                    "allow": list(allow),
+                }
+            )
+        return rows

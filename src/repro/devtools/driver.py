@@ -1,0 +1,99 @@
+"""The lint driver: collect files, parse once, run every applicable rule.
+
+The driver owns the mechanics rules should not care about: walking the
+target directories, skipping generated/cache directories, normalizing
+paths to repo-relative posix form, parsing each file exactly once, and
+collecting per-file plus cross-file (:meth:`Rule.finish`) findings into
+one deterministic report.  Syntax errors are findings too (rule
+``PARSE``), not crashes -- a file the linter cannot read is a file no rule
+has vetted.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable
+
+from repro.devtools.config import LintConfig
+from repro.devtools.findings import Finding, sort_findings
+from repro.devtools.rules import Rule, default_rules
+
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", "repro.egg-info", ".pytest_cache"}
+
+
+def collect_files(targets: Iterable[str | Path], root: Path) -> list[Path]:
+    """Expand file/directory targets into a sorted list of ``.py`` files."""
+    files: set[Path] = set()
+    for target in targets:
+        path = Path(target)
+        if not path.is_absolute():
+            path = root / path
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not _SKIP_DIRS.intersection(candidate.parts):
+                    files.add(candidate)
+        elif path.suffix == ".py" and path.exists():
+            files.add(path)
+    return sorted(files)
+
+
+def relative_posix(path: Path, root: Path) -> str:
+    """Repo-relative posix path; falls back to absolute for outsiders."""
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.resolve().as_posix()
+
+
+class LintDriver:
+    """One lint run: rules + config over a set of targets."""
+
+    def __init__(
+        self,
+        *,
+        rules: list[Rule] | None = None,
+        config: LintConfig | None = None,
+        root: Path | None = None,
+    ) -> None:
+        self.rules = rules if rules is not None else default_rules()
+        self.config = config if config is not None else LintConfig()
+        self.root = (root if root is not None else Path.cwd()).resolve()
+        self.files_checked = 0
+
+    def run(self, targets: Iterable[str | Path]) -> list[Finding]:
+        """Lint ``targets``; returns every finding, deterministically ordered."""
+        findings: list[Finding] = []
+        active = [r for r in self.rules if self.config.rule_enabled(r)]
+        self.files_checked = 0
+        for file in collect_files(targets, self.root):
+            rel = relative_posix(file, self.root)
+            applicable = [r for r in active if self.config.applies(r, rel)]
+            if not applicable:
+                continue
+            source = file.read_text(encoding="utf-8")
+            lines = source.splitlines()
+            self.files_checked += 1
+            try:
+                tree = ast.parse(source, filename=rel)
+            except SyntaxError as exc:
+                findings.append(
+                    Finding(
+                        rule_id="PARSE",
+                        path=rel,
+                        line=exc.lineno or 1,
+                        col=(exc.offset or 1) - 1,
+                        message=f"file does not parse: {exc.msg}",
+                        hint="replint vets nothing in a file it cannot parse",
+                        snippet=(exc.text or "").strip(),
+                    )
+                )
+                continue
+            for rule in applicable:
+                findings.extend(rule.check(tree, rel, lines))
+        for rule in active:
+            findings.extend(
+                finding for finding in rule.finish()
+                if self.config.applies(rule, finding.path)
+            )
+        return sort_findings(findings)

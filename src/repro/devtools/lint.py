@@ -1,0 +1,113 @@
+"""``replint`` CLI -- the determinism lint gate.
+
+Usage::
+
+    python -m repro.devtools.lint src tests benchmarks
+    python -m repro.devtools.lint src --format json
+    python -m repro.devtools.lint src tests benchmarks --write-baseline
+    python -m repro.devtools.lint --list-rules
+
+Exit codes: 0 clean (no non-baselined findings), 1 findings, 2 usage /
+config errors.  CI runs the first form against the committed (empty)
+baseline; a single stray ``time.time()`` in ``src/repro/`` fails the job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.devtools.baseline import load_baseline, split_by_baseline, write_baseline
+from repro.devtools.config import LintConfig
+from repro.devtools.driver import LintDriver
+from repro.devtools.reporters import REPORTERS
+
+DEFAULT_BASELINE = ".replint-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="replint",
+        description="Determinism lint for the repro codebase.",
+    )
+    parser.add_argument(
+        "targets", nargs="*", default=[],
+        help="files or directories to lint (e.g. src tests benchmarks)",
+    )
+    parser.add_argument(
+        "--format", choices=sorted(REPORTERS), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline", default=None,
+        help=f"baseline file (default: {DEFAULT_BASELINE} if present)",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="record current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--config", default=None,
+        help="JSON config extending per-rule allowlists / scopes",
+    )
+    parser.add_argument(
+        "--root", default=None,
+        help="repo root for path normalization (default: cwd)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule table and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    root = Path(args.root) if args.root else Path.cwd()
+
+    try:
+        config = LintConfig.load(args.config) if args.config else LintConfig()
+    except (OSError, ValueError) as exc:
+        print(f"replint: bad config: {exc}", file=sys.stderr)
+        return 2
+
+    if args.list_rules:
+        for row in config.describe():
+            state = "on " if row["enabled"] else "off"
+            print(f"{row['rule']}  [{state}]  {row['description']}")
+            print(f"         include: {', '.join(row['include'])}")
+            if row["allow"]:
+                print(f"         allow:   {', '.join(row['allow'])}")
+        return 0
+
+    if not args.targets:
+        print("replint: no targets given (try: src tests benchmarks)",
+              file=sys.stderr)
+        return 2
+
+    driver = LintDriver(config=config, root=root)
+    findings = driver.run(args.targets)
+
+    baseline_path = Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE
+    if args.write_baseline:
+        count = write_baseline(baseline_path, findings)
+        print(f"replint: wrote {count} finding(s) to {baseline_path}")
+        return 0
+
+    try:
+        baselined = load_baseline(baseline_path)
+    except ValueError as exc:
+        print(f"replint: {exc}", file=sys.stderr)
+        return 2
+    new, suppressed = split_by_baseline(findings, baselined)
+
+    report = REPORTERS[args.format](
+        new, suppressed=len(suppressed), files_checked=driver.files_checked
+    )
+    print(report)
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""Finding reporters: text for humans, JSON for machines.
+
+The text format is the classic ``path:line:col RULE message`` one-liner
+(clickable in editors and CI logs) followed by the offending source line
+and the fix hint.  The JSON format carries the same fields plus
+fingerprints, so a CI annotator or the baseline tool can consume it
+without re-running the linter.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.devtools.findings import Finding, sort_findings
+
+
+def render_text(
+    findings: list[Finding],
+    *,
+    suppressed: int = 0,
+    files_checked: int = 0,
+) -> str:
+    lines: list[str] = []
+    for finding in sort_findings(findings):
+        lines.append(f"{finding.location()} {finding.rule_id} {finding.message}")
+        if finding.snippet:
+            lines.append(f"    | {finding.snippet}")
+        if finding.hint:
+            lines.append(f"    = hint: {finding.hint}")
+    summary = (
+        f"replint: {len(findings)} finding(s) in {files_checked} file(s)"
+    )
+    if suppressed:
+        summary += f" ({suppressed} baselined)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: list[Finding],
+    *,
+    suppressed: int = 0,
+    files_checked: int = 0,
+) -> str:
+    payload = {
+        "findings": [f.to_dict() for f in sort_findings(findings)],
+        "summary": {
+            "findings": len(findings),
+            "suppressed": suppressed,
+            "files_checked": files_checked,
+        },
+    }
+    return json.dumps(payload, indent=2)
+
+
+REPORTERS = {"text": render_text, "json": render_json}

@@ -10,8 +10,9 @@ instant, and the request completes at::
     min(primary_latency, threshold + backup_latency)
 
 which is exactly the tail-at-scale hedging formula under a virtual clock.
-Counters: ``hedged_requests`` (backups launched) and ``hedge_wins``
-(backup finished first).
+Counters: ``hedged_requests`` (backups launched), ``hedge_wins`` (backup
+finished first), and ``hedge_errors`` (backup attempts that failed; the
+primary result stood).
 """
 
 from __future__ import annotations
@@ -22,6 +23,7 @@ from typing import Callable
 import numpy as np
 
 from repro.core.metrics import MetricsRegistry
+from repro.errors import ReproError
 
 
 class HedgePolicy:
@@ -60,6 +62,7 @@ class HedgePolicy:
         self._history: deque[float] = deque(maxlen=max_history)
         self.hedged_requests = 0
         self.hedge_wins = 0
+        self.hedge_errors = 0
 
     # -- observation ---------------------------------------------------------
 
@@ -93,9 +96,11 @@ class HedgePolicy:
         """Resolve one read: returns ``(effective_latency, hedged, won)``.
 
         ``backup`` is invoked only when hedging triggers; it returns the
-        backup request's modelled latency (or raises, in which case the
-        primary result stands).  The effective latency is the virtual time
-        at which the *first* of the two copies completes.
+        backup request's modelled latency (or raises one of the modelled
+        failure types, in which case the primary result stands and the
+        failure is accounted under ``hedge_errors``).  The effective
+        latency is the virtual time at which the *first* of the two copies
+        completes.
         """
         threshold = self.threshold()
         if threshold is None or primary_latency <= threshold:
@@ -105,8 +110,12 @@ class HedgePolicy:
         self.metrics.counter("hedged_requests").inc()
         try:
             backup_latency = backup()
-        except Exception:
-            # backup target failed; the slow primary still serves the read
+        except (ReproError, ConnectionError, TimeoutError) as exc:
+            # backup target failed; the slow primary still serves the read,
+            # and the degraded hedge is accounted (ERR001: no silent swallow)
+            self.hedge_errors += 1
+            self.metrics.counter("hedge_errors").inc()
+            self.metrics.record_error("hedge_backup", exc)
             self.observe(primary_latency)
             return primary_latency, True, False
         effective = min(primary_latency, threshold + backup_latency)

@@ -9,6 +9,9 @@ their *shape* on a virtual clock.  The kernel is intentionally small:
   rotation, metrics flushes).
 - :class:`~repro.sim.rng.RngStream` -- named, seeded random streams so every
   experiment is reproducible bit-for-bit.
+- :mod:`repro.sim.sanitizer` -- the runtime determinism sanitizer: a
+  double-run harness that diffs event-sequence hashes, plus a write-write
+  conflict detector for the generation-stamp invariant.
 
 Device queueing (the part of the paper that produces "blocked processes")
 is modelled analytically in :mod:`repro.storage.device` on top of the same
@@ -18,5 +21,20 @@ clock, so no coroutine machinery is needed.
 from repro.sim.clock import SimClock
 from repro.sim.events import EventLoop, ScheduledEvent
 from repro.sim.rng import RngStream
+from repro.sim.sanitizer import (
+    DeterminismHarness,
+    DeterminismViolation,
+    EventTrace,
+    WriteWriteConflictDetector,
+)
 
-__all__ = ["SimClock", "EventLoop", "ScheduledEvent", "RngStream"]
+__all__ = [
+    "SimClock",
+    "EventLoop",
+    "ScheduledEvent",
+    "RngStream",
+    "DeterminismHarness",
+    "DeterminismViolation",
+    "EventTrace",
+    "WriteWriteConflictDetector",
+]

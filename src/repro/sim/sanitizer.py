@@ -1,0 +1,296 @@
+"""Runtime determinism sanitizer.
+
+The static rules in :mod:`repro.devtools` catch nondeterminism you can see
+in the source; this module catches the kind you can only see by running.
+Two detectors:
+
+- :class:`DeterminismHarness` -- runs a scenario twice from the same seed,
+  folding every event it emits (event type, virtual timestamp, actor id)
+  into a rolling hash, and reports the **first divergent event** when the
+  two trails differ.  This is the property every benchmark number rests
+  on: same seed, bit-identical event sequence.
+- :class:`WriteWriteConflictDetector` -- the generation-stamp invariant
+  from the paper's HDFS consistency machinery (Section 6.2.3): two logical
+  actors must never mutate the same page/shard at an identical virtual
+  timestamp without a version bump between them, because the cache keys
+  snapshots by ``(id, generation)`` and an un-bumped concurrent write
+  makes two different byte contents share one cache identity.
+
+Both integrate with pytest via the fixtures in the repo-root
+``conftest.py``; tests opt in with ``@pytest.mark.determinism``, which CI
+runs as a dedicated sanitizer job alongside the lint gate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(frozen=True, slots=True)
+class SimEvent:
+    """One entry in an event trail: what happened, when, to whom."""
+
+    kind: str
+    timestamp: float
+    actor: str
+    detail: str = ""
+
+    def encode(self) -> bytes:
+        return (
+            f"{self.kind}|{self.timestamp!r}|{self.actor}|{self.detail}".encode()
+        )
+
+
+class EventTrace:
+    """An append-only event trail with an incrementally folded hash.
+
+    The rolling hash commits to the full prefix at every step, so two
+    traces can be compared in O(1) (final digest) and diffed in O(n)
+    (first index where the event streams differ).
+    """
+
+    def __init__(self) -> None:
+        self._events: list[SimEvent] = []
+        self._hasher = hashlib.blake2b(digest_size=16)
+
+    def record(
+        self, kind: str, timestamp: float, actor: str, detail: str = ""
+    ) -> None:
+        """Append one event and fold it into the rolling hash."""
+        event = SimEvent(kind=kind, timestamp=float(timestamp), actor=actor,
+                         detail=detail)
+        self._events.append(event)
+        self._hasher.update(event.encode())
+
+    def record_all(self, events: list[tuple[float, str, str]]) -> None:
+        """Bulk-record ``(virtual_time, action, target)`` tuples -- the
+        shape :class:`~repro.resilience.injector.ChaosInjector` and
+        ``BreakerBoard`` event logs use."""
+        for timestamp, action, target in events:
+            self.record(action, timestamp, target)
+
+    @property
+    def events(self) -> list[SimEvent]:
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def rolling_hash(self) -> str:
+        """Hex digest committing to the entire event sequence so far."""
+        return self._hasher.hexdigest()
+
+
+@dataclass(frozen=True, slots=True)
+class Divergence:
+    """The first point where two same-seed runs disagree."""
+
+    index: int
+    first: SimEvent | None     # None: run ended early (missing event)
+    second: SimEvent | None
+
+    def describe(self) -> str:
+        if self.first is None:
+            return (f"event #{self.index}: first run ended, second run "
+                    f"continued with {self.second}")
+        if self.second is None:
+            return (f"event #{self.index}: second run ended, first run "
+                    f"continued with {self.first}")
+        return (f"event #{self.index} diverged:\n"
+                f"  run 1: {self.first}\n"
+                f"  run 2: {self.second}")
+
+
+@dataclass(frozen=True, slots=True)
+class DeterminismReport:
+    """Outcome of a double run: both hashes plus the first divergence."""
+
+    hash_first: str
+    hash_second: str
+    events_first: int
+    events_second: int
+    divergence: Divergence | None
+    result_first: Any = field(compare=False, default=None)
+    result_second: Any = field(compare=False, default=None)
+
+    @property
+    def deterministic(self) -> bool:
+        return self.divergence is None and self.hash_first == self.hash_second
+
+
+class DeterminismViolation(AssertionError):
+    """Raised by :meth:`DeterminismHarness.check` on a divergent re-run."""
+
+    def __init__(self, report: DeterminismReport) -> None:
+        self.report = report
+        detail = (
+            report.divergence.describe()
+            if report.divergence is not None
+            else "event trails match but results differ"
+        )
+        super().__init__(
+            "scenario is not deterministic under a fixed seed\n"
+            f"  run 1: {report.events_first} events, hash {report.hash_first}\n"
+            f"  run 2: {report.events_second} events, hash {report.hash_second}\n"
+            f"  {detail}"
+        )
+
+
+class DeterminismHarness:
+    """Run a scenario twice and demand bit-identical event trails.
+
+    ``scenario`` receives a fresh :class:`EventTrace` and records every
+    observable event into it (fault injections, breaker transitions,
+    request completions -- whatever defines the run); its return value is
+    compared as a secondary signal.  The scenario must derive **all** of
+    its randomness and time from its own seed/clock -- that is exactly the
+    property under test.
+
+    >>> def scenario(trace):
+    ...     for step in range(3):
+    ...         trace.record("tick", float(step), "loop")
+    ...     return "done"
+    >>> DeterminismHarness(scenario).check().deterministic
+    True
+    """
+
+    def __init__(self, scenario: Callable[[EventTrace], Any]) -> None:
+        self.scenario = scenario
+
+    def run_twice(self) -> DeterminismReport:
+        """Execute both runs and diff the trails (never raises)."""
+        first_trace, second_trace = EventTrace(), EventTrace()
+        first_result = self.scenario(first_trace)
+        second_result = self.scenario(second_trace)
+        divergence = self._first_divergence(first_trace, second_trace)
+        report = DeterminismReport(
+            hash_first=first_trace.rolling_hash(),
+            hash_second=second_trace.rolling_hash(),
+            events_first=len(first_trace),
+            events_second=len(second_trace),
+            divergence=divergence,
+            result_first=first_result,
+            result_second=second_result,
+        )
+        if divergence is None and first_result != second_result:
+            # identical trails but divergent results: the scenario observes
+            # state it does not record; surface it as an end-of-trail diff
+            report = DeterminismReport(
+                hash_first=report.hash_first,
+                hash_second=report.hash_second,
+                events_first=report.events_first,
+                events_second=report.events_second,
+                divergence=Divergence(len(first_trace), None, None),
+                result_first=first_result,
+                result_second=second_result,
+            )
+        return report
+
+    def check(self) -> DeterminismReport:
+        """Run twice; raise :class:`DeterminismViolation` on divergence."""
+        report = self.run_twice()
+        if not report.deterministic:
+            raise DeterminismViolation(report)
+        return report
+
+    @staticmethod
+    def _first_divergence(
+        first: EventTrace, second: EventTrace
+    ) -> Divergence | None:
+        a, b = first.events, second.events
+        for index in range(min(len(a), len(b))):
+            if a[index] != b[index]:
+                return Divergence(index, a[index], b[index])
+        if len(a) != len(b):
+            index = min(len(a), len(b))
+            return Divergence(
+                index,
+                a[index] if index < len(a) else None,
+                b[index] if index < len(b) else None,
+            )
+        return None
+
+
+@dataclass(frozen=True, slots=True)
+class WriteConflict:
+    """Two actors mutated one key at one virtual instant, same generation."""
+
+    key: str
+    timestamp: float
+    generation: int
+    first_actor: str
+    second_actor: str
+
+    def describe(self) -> str:
+        return (
+            f"write-write conflict on {self.key!r} at t={self.timestamp}: "
+            f"{self.first_actor!r} and {self.second_actor!r} both wrote "
+            f"generation {self.generation} with no version bump between"
+        )
+
+
+class WriteConflictViolation(AssertionError):
+    """Raised by :meth:`WriteWriteConflictDetector.assert_clean`."""
+
+    def __init__(self, conflicts: list[WriteConflict]) -> None:
+        self.conflicts = conflicts
+        lines = "\n".join(f"  {c.describe()}" for c in conflicts)
+        super().__init__(
+            f"{len(conflicts)} generation-stamp violation(s):\n{lines}"
+        )
+
+
+class WriteWriteConflictDetector:
+    """Flags concurrent same-generation writes to one page/shard.
+
+    Call :meth:`record_write` from wherever mutations happen (a metastore
+    put, a shard write, an HDFS append).  A write is in conflict when the
+    same key was last written at the **same virtual timestamp** by a
+    **different actor** with **no generation bump** -- the paper's
+    ``(blockId, generation stamp)`` keying makes such a pair
+    indistinguishable to the cache, i.e. a silent consistency bug.
+    """
+
+    def __init__(self) -> None:
+        # key -> (timestamp, generation, actor) of the latest write
+        self._last: dict[str, tuple[float, int, str]] = {}
+        self.conflicts: list[WriteConflict] = []
+        self.writes = 0
+
+    def record_write(
+        self, key: str, *, actor: str, timestamp: float, generation: int
+    ) -> WriteConflict | None:
+        """Record one mutation; returns the conflict if this write races."""
+        self.writes += 1
+        previous = self._last.get(key)
+        conflict: WriteConflict | None = None
+        if previous is not None:
+            last_ts, last_gen, last_actor = previous
+            if generation < last_gen:
+                raise ValueError(
+                    f"generation moved backwards on {key!r}: "
+                    f"{last_gen} -> {generation}"
+                )
+            if (
+                timestamp == last_ts
+                and actor != last_actor
+                and generation == last_gen
+            ):
+                conflict = WriteConflict(
+                    key=key, timestamp=timestamp, generation=generation,
+                    first_actor=last_actor, second_actor=actor,
+                )
+                self.conflicts.append(conflict)
+        self._last[key] = (timestamp, generation, actor)
+        return conflict
+
+    @property
+    def clean(self) -> bool:
+        return not self.conflicts
+
+    def assert_clean(self) -> None:
+        """Raise :class:`WriteConflictViolation` if any write raced."""
+        if self.conflicts:
+            raise WriteConflictViolation(list(self.conflicts))

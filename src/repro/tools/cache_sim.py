@@ -21,6 +21,7 @@ from repro.analysis.report import Table, format_bytes
 from repro.core.admission.rate_limiter import BucketTimeRateLimit
 from repro.core.cache_manager import LocalCacheManager
 from repro.core.config import CacheConfig
+from repro.core.page import installed_time_source
 from repro.sim.clock import SimClock
 from repro.sim.rng import RngStream
 from repro.storage.remote import NullDataSource
@@ -39,9 +40,27 @@ def replay(
     admission_threshold: int | None = None,
     block_size: int = 128 * MIB,
 ) -> dict:
-    """Replay one configuration; returns summary metrics."""
+    """Replay one configuration; returns summary metrics.
+
+    The replay is a simulation entry point, so the virtual clock is
+    installed as the page time source for its whole extent (mandatory
+    SimClock injection -- determinism invariant DET001).
+    """
     trace = read_trace(trace_path)
     clock = SimClock()
+    with installed_time_source(clock.now):
+        return _replay(
+            trace, clock,
+            capacity_bytes=capacity_bytes, page_size=page_size,
+            policy=policy, admission_threshold=admission_threshold,
+            block_size=block_size,
+        )
+
+
+def _replay(
+    trace, clock, *, capacity_bytes, page_size, policy,
+    admission_threshold, block_size,
+) -> dict:
     source = NullDataSource(base_latency=0.004, bandwidth=400e6)
     known: set[int] = set()
     config = CacheConfig.small(capacity_bytes, page_size=page_size)

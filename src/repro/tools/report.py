@@ -80,6 +80,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """CLI entry point.  Every error path returns a non-zero exit code
+    (and prints to stderr) so CI pipelines that chain this tool fail
+    loudly instead of publishing an empty report."""
     args = build_parser().parse_args(argv)
     report_dir = Path(args.reports)
     if not report_dir.is_dir():
@@ -89,7 +92,11 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     document = collate(report_dir)
     if args.out:
-        Path(args.out).write_text(document, encoding="utf-8")
+        try:
+            Path(args.out).write_text(document, encoding="utf-8")
+        except OSError as exc:
+            print(f"error: cannot write {args.out}: {exc}", file=sys.stderr)
+            return 1
         print(f"wrote {args.out}")
     else:
         print(document)

@@ -173,3 +173,37 @@ class TestTimeSource:
             assert info.is_expired(clock.now() + 30.0)
         finally:
             reset_time_source()
+
+    def test_installed_time_source_scopes_and_restores(self):
+        from repro.core.page import installed_time_source, now_wall
+        from repro.sim.clock import SimClock
+
+        clock = SimClock(start=7.0)
+        with installed_time_source(clock.now):
+            assert PageInfo(PageId("f", 0), size=10).created_at == 7.0
+        import time
+
+        assert abs(now_wall() - time.time()) < 60.0
+
+    def test_installed_time_source_restores_on_error(self):
+        from repro.core.page import installed_time_source, now_wall
+        from repro.sim.clock import SimClock
+
+        import time
+
+        with pytest.raises(RuntimeError):
+            with installed_time_source(SimClock(start=3.0).now):
+                raise RuntimeError("scenario blew up")
+        assert abs(now_wall() - time.time()) < 60.0
+
+    def test_installed_time_source_nests(self):
+        """Nested scenarios restore the *enclosing* source, not the wall
+        clock -- the chaos soak's double-run depends on this."""
+        from repro.core.page import installed_time_source, now_wall
+        from repro.sim.clock import SimClock
+
+        outer, inner = SimClock(start=100.0), SimClock(start=200.0)
+        with installed_time_source(outer.now):
+            with installed_time_source(inner.now):
+                assert now_wall() == 200.0
+            assert now_wall() == 100.0

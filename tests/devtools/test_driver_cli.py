@@ -1,0 +1,208 @@
+"""Driver, config, baseline, reporter, and CLI tests for replint.
+
+These exercise the framework end to end over a synthetic mini-repo in
+``tmp_path``, including the acceptance property the CI gate depends on:
+seeding a ``time.time()`` call into ``src/repro/core/`` turns the exit
+code non-zero.
+"""
+
+import json
+
+import pytest
+
+from repro.devtools.baseline import load_baseline, split_by_baseline, write_baseline
+from repro.devtools.config import LintConfig
+from repro.devtools.driver import LintDriver, collect_files
+from repro.devtools.findings import Finding
+from repro.devtools.lint import main
+from repro.devtools.reporters import render_json, render_text
+
+CLEAN = "def f(clock):\n    return clock.now()\n"
+DIRTY = "import time\n\n\ndef stamp():\n    return time.time()\n"
+
+
+@pytest.fixture()
+def mini_repo(tmp_path):
+    core = tmp_path / "src" / "repro" / "core"
+    core.mkdir(parents=True)
+    (core / "clean.py").write_text(CLEAN)
+    return tmp_path
+
+
+def seed_wall_clock(repo):
+    (repo / "src" / "repro" / "core" / "seeded.py").write_text(DIRTY)
+
+
+class TestDriver:
+    def test_clean_repo_no_findings(self, mini_repo):
+        driver = LintDriver(root=mini_repo)
+        assert driver.run(["src"]) == []
+        assert driver.files_checked == 1
+
+    def test_seeded_wall_clock_found(self, mini_repo):
+        seed_wall_clock(mini_repo)
+        findings = LintDriver(root=mini_repo).run(["src"])
+        assert [f.rule_id for f in findings] == ["DET001"]
+        assert findings[0].path == "src/repro/core/seeded.py"
+        assert findings[0].line == 5
+
+    def test_syntax_error_is_a_finding(self, mini_repo):
+        bad = mini_repo / "src" / "repro" / "core" / "broken.py"
+        bad.write_text("def f(:\n")
+        findings = LintDriver(root=mini_repo).run(["src"])
+        assert [f.rule_id for f in findings] == ["PARSE"]
+
+    def test_pycache_skipped(self, mini_repo):
+        cache = mini_repo / "src" / "repro" / "core" / "__pycache__"
+        cache.mkdir()
+        (cache / "junk.py").write_text(DIRTY)
+        assert LintDriver(root=mini_repo).run(["src"]) == []
+
+    def test_collect_accepts_single_file(self, mini_repo):
+        seed_wall_clock(mini_repo)
+        files = collect_files(["src/repro/core/seeded.py"], mini_repo)
+        assert [f.name for f in files] == ["seeded.py"]
+
+    def test_out_of_scope_paths_untouched(self, mini_repo):
+        docs = mini_repo / "docs"
+        docs.mkdir()
+        (docs / "snippet.py").write_text(DIRTY)
+        assert LintDriver(root=mini_repo).run(["docs"]) == []
+
+
+class TestConfig:
+    def test_allowlist_extension_suppresses(self, mini_repo):
+        seed_wall_clock(mini_repo)
+        config = LintConfig(
+            extra_allow={"DET001": ("src/repro/core/seeded.py",)}
+        )
+        assert LintDriver(config=config, root=mini_repo).run(["src"]) == []
+
+    def test_directory_allowlist_covers_children(self, mini_repo):
+        seed_wall_clock(mini_repo)
+        config = LintConfig(extra_allow={"DET001": ("src/repro/core",)})
+        assert LintDriver(config=config, root=mini_repo).run(["src"]) == []
+
+    def test_disable_rule(self, mini_repo):
+        seed_wall_clock(mini_repo)
+        config = LintConfig(disabled=frozenset({"DET001"}))
+        assert LintDriver(config=config, root=mini_repo).run(["src"]) == []
+
+    def test_load_json_config(self, mini_repo):
+        seed_wall_clock(mini_repo)
+        cfg = mini_repo / "replint.json"
+        cfg.write_text(json.dumps(
+            {"DET001": {"allow": ["src/repro/core/seeded.py"]},
+             "disable": ["LOG001"]}
+        ))
+        config = LintConfig.load(cfg)
+        assert not config.rule_enabled(type("R", (), {"rule_id": "LOG001"})())
+        assert LintDriver(config=config, root=mini_repo).run(["src"]) == []
+
+    def test_default_allowlists_are_scoped_exceptions(self):
+        config = LintConfig()
+        rows = {row["rule"]: row for row in config.describe()}
+        assert "src/repro/core/page.py" in rows["DET001"]["allow"]
+        assert "src/repro/sim/rng.py" in rows["DET002"]["allow"]
+        assert all(row["enabled"] for row in rows.values())
+
+
+class TestBaseline:
+    def test_roundtrip_suppresses_known_findings(self, mini_repo):
+        seed_wall_clock(mini_repo)
+        findings = LintDriver(root=mini_repo).run(["src"])
+        baseline_path = mini_repo / "baseline.json"
+        assert write_baseline(baseline_path, findings) == 1
+        baselined = load_baseline(baseline_path)
+        new, suppressed = split_by_baseline(findings, baselined)
+        assert new == [] and len(suppressed) == 1
+
+    def test_fingerprint_survives_line_shift(self, mini_repo):
+        seed_wall_clock(mini_repo)
+        before = LintDriver(root=mini_repo).run(["src"])
+        seeded = mini_repo / "src" / "repro" / "core" / "seeded.py"
+        seeded.write_text("# a new comment shifts every line\n" + DIRTY)
+        after = LintDriver(root=mini_repo).run(["src"])
+        assert before[0].line != after[0].line
+        assert before[0].fingerprint() == after[0].fingerprint()
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") == frozenset()
+
+    def test_bad_baseline_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"version": 99}')
+        with pytest.raises(ValueError):
+            load_baseline(bad)
+
+
+class TestReporters:
+    def _finding(self):
+        return Finding(
+            rule_id="DET001", path="src/repro/core/x.py", line=3, col=4,
+            message="wall-clock read `time.time` in simulation code",
+            hint="use SimClock", snippet="t = time.time()",
+        )
+
+    def test_text_format(self):
+        text = render_text([self._finding()], suppressed=2, files_checked=7)
+        assert "src/repro/core/x.py:3:5 DET001" in text
+        assert "hint: use SimClock" in text
+        assert "1 finding(s) in 7 file(s) (2 baselined)" in text
+
+    def test_json_format(self):
+        payload = json.loads(
+            render_json([self._finding()], suppressed=0, files_checked=7)
+        )
+        assert payload["summary"] == {
+            "findings": 1, "suppressed": 0, "files_checked": 7,
+        }
+        assert payload["findings"][0]["rule"] == "DET001"
+        assert payload["findings"][0]["fingerprint"]
+
+
+class TestCli:
+    def test_clean_exit_zero(self, mini_repo, capsys):
+        assert main(["src", "--root", str(mini_repo)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_seeded_wall_clock_fails_gate(self, mini_repo, capsys):
+        """Acceptance: a time.time() seeded into src/repro/core/ must turn
+        the lint gate red."""
+        seed_wall_clock(mini_repo)
+        assert main(["src", "--root", str(mini_repo)]) == 1
+        out = capsys.readouterr().out
+        assert "DET001" in out and "seeded.py" in out
+
+    def test_baseline_flow(self, mini_repo, capsys):
+        seed_wall_clock(mini_repo)
+        baseline = str(mini_repo / "baseline.json")
+        assert main(["src", "--root", str(mini_repo),
+                     "--baseline", baseline, "--write-baseline"]) == 0
+        assert main(["src", "--root", str(mini_repo),
+                     "--baseline", baseline]) == 0
+        assert "(1 baselined)" in capsys.readouterr().out
+
+    def test_json_output(self, mini_repo, capsys):
+        seed_wall_clock(mini_repo)
+        assert main(["src", "--root", str(mini_repo),
+                     "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["findings"] == 1
+
+    def test_no_targets_usage_error(self, capsys):
+        assert main([]) == 2
+        assert "no targets" in capsys.readouterr().err
+
+    def test_bad_config_usage_error(self, tmp_path, capsys):
+        cfg = tmp_path / "cfg.json"
+        cfg.write_text("[1, 2]")
+        assert main(["src", "--config", str(cfg)]) == 2
+        assert "bad config" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("DET001", "DET002", "DET003", "ERR001",
+                        "MET001", "SIM001", "API001", "LOG001"):
+            assert rule_id in out

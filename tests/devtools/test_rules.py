@@ -1,0 +1,201 @@
+"""Per-rule unit tests: each rule fires on its target pattern and stays
+quiet on the sanctioned alternative."""
+
+import ast
+
+import pytest
+
+from repro.devtools.rules import (
+    AccountedExceptRule,
+    MetricNameRule,
+    NoMutableDefaultRule,
+    NoPrintRule,
+    NoWallClockRule,
+    SeededRngRule,
+    SetOrderRule,
+    SimPurityRule,
+)
+
+PATH = "src/repro/core/example.py"
+
+
+def run_rule(rule, code, path=PATH):
+    lines = code.splitlines()
+    findings = list(rule.check(ast.parse(code), path, lines))
+    findings.extend(rule.finish())
+    return findings
+
+
+class TestDET001WallClock:
+    @pytest.mark.parametrize("snippet", [
+        "import time\nx = time.time()",
+        "import time\nx = time.monotonic()",
+        "import time\nx = time.perf_counter()",
+        "from datetime import datetime\nx = datetime.now()",
+        "import datetime\nx = datetime.datetime.utcnow()",
+    ])
+    def test_flags_wall_clock_reads(self, snippet):
+        findings = run_rule(NoWallClockRule(), snippet)
+        assert len(findings) == 1
+        assert findings[0].rule_id == "DET001"
+        assert "wall-clock" in findings[0].message
+
+    def test_sim_clock_usage_clean(self):
+        code = "def f(clock):\n    return clock.now() + 5.0\n"
+        assert run_rule(NoWallClockRule(), code) == []
+
+    def test_finding_carries_location_and_hint(self):
+        code = "import time\n\n\nstamp = time.time()\n"
+        (finding,) = run_rule(NoWallClockRule(), code)
+        assert finding.line == 4
+        assert finding.location().startswith(f"{PATH}:4:")
+        assert "SimClock" in finding.hint
+        assert finding.snippet == "stamp = time.time()"
+
+
+class TestDET002SeededRng:
+    def test_flags_random_import(self):
+        assert run_rule(SeededRngRule(), "import random")[0].rule_id == "DET002"
+        assert run_rule(SeededRngRule(), "from random import choice")
+
+    def test_flags_unseeded_default_rng(self):
+        code = "import numpy as np\nrng = np.random.default_rng()"
+        (finding,) = run_rule(SeededRngRule(), code)
+        assert "unseeded" in finding.message
+
+    def test_flags_numpy_global_state(self):
+        code = "import numpy as np\nnp.random.shuffle(x)"
+        (finding,) = run_rule(SeededRngRule(), code)
+        assert "global-state" in finding.message
+
+    def test_seeded_default_rng_clean(self):
+        code = "import numpy as np\nrng = np.random.default_rng([seed, 4])"
+        assert run_rule(SeededRngRule(), code) == []
+
+
+class TestDET003SetOrder:
+    def test_flags_list_of_set(self):
+        (finding,) = run_rule(SetOrderRule(), "out = list(set(xs))")
+        assert finding.rule_id == "DET003"
+
+    def test_flags_append_loop_over_set(self):
+        code = "for x in set(xs):\n    out.append(x)\n"
+        assert run_rule(SetOrderRule(), code)
+
+    def test_flags_listcomp_over_set(self):
+        assert run_rule(SetOrderRule(), "out = [x for x in set(xs)]")
+
+    def test_sorted_is_clean(self):
+        assert run_rule(SetOrderRule(), "out = sorted(set(xs))") == []
+        assert run_rule(SetOrderRule(), "out = [x for x in sorted(set(xs))]") == []
+
+    def test_membership_and_aggregation_clean(self):
+        code = "seen = set(xs)\nif y in seen:\n    n = len(seen) + sum(seen)\n"
+        assert run_rule(SetOrderRule(), code) == []
+
+
+class TestERR001AccountedExcept:
+    def test_flags_silent_broad_except(self):
+        code = "try:\n    f()\nexcept Exception:\n    pass\n"
+        (finding,) = run_rule(AccountedExceptRule(), code)
+        assert finding.rule_id == "ERR001"
+
+    def test_flags_bare_except(self):
+        code = "try:\n    f()\nexcept:\n    result = None\n"
+        assert run_rule(AccountedExceptRule(), code)
+
+    def test_reraise_is_clean(self):
+        code = "try:\n    f()\nexcept Exception:\n    raise\n"
+        assert run_rule(AccountedExceptRule(), code) == []
+
+    def test_counter_increment_is_clean(self):
+        code = (
+            "try:\n    f()\nexcept Exception:\n"
+            "    metrics.counter('errors').inc()\n"
+        )
+        assert run_rule(AccountedExceptRule(), code) == []
+
+    def test_augassign_accounting_is_clean(self):
+        code = "try:\n    f()\nexcept Exception:\n    errors += 1\n"
+        assert run_rule(AccountedExceptRule(), code) == []
+
+    def test_record_error_is_clean(self):
+        code = (
+            "try:\n    f()\nexcept Exception as exc:\n"
+            "    metrics.record_error('get', exc)\n"
+        )
+        assert run_rule(AccountedExceptRule(), code) == []
+
+    def test_narrow_except_not_in_scope(self):
+        code = "try:\n    f()\nexcept ValueError:\n    pass\n"
+        assert run_rule(AccountedExceptRule(), code) == []
+
+
+class TestMET001MetricNames:
+    def test_flags_non_snake_case(self):
+        (finding,) = run_rule(MetricNameRule(), "m.counter('BadName').inc()")
+        assert "snake_case" in finding.message
+
+    def test_flags_kind_conflict_across_files(self):
+        rule = MetricNameRule()
+        list(rule.check(ast.parse("m.counter('hits').inc()"),
+                        "src/repro/a.py", ["m.counter('hits').inc()"]))
+        list(rule.check(ast.parse("m.gauge('hits').set(1)"),
+                        "src/repro/b.py", ["m.gauge('hits').set(1)"]))
+        findings = list(rule.finish())
+        assert len(findings) == 1
+        assert "multiple kinds" in findings[0].message
+
+    def test_consistent_reuse_is_clean(self):
+        rule = MetricNameRule()
+        for path in ("src/repro/a.py", "src/repro/b.py"):
+            code = "m.counter('get_hits').inc()"
+            assert list(rule.check(ast.parse(code), path, [code])) == []
+        assert list(rule.finish()) == []
+
+    def test_dynamic_names_skipped(self):
+        assert run_rule(MetricNameRule(), "m.counter(name).inc()") == []
+
+
+class TestSIM001SimPurity:
+    @pytest.mark.parametrize("snippet,needle", [
+        ("import requests", "requests"),
+        ("import socket", "socket"),
+        ("from urllib.request import urlopen", "urllib"),
+        ("import time\ntime.sleep(1)", "sleep"),
+        ("from time import sleep\nsleep(0.5)", "sleep"),
+        ("handle = open('x.bin')", "open"),
+    ])
+    def test_flags_blocking_calls(self, snippet, needle):
+        findings = run_rule(SimPurityRule(), snippet)
+        assert findings, snippet
+        assert any(needle in f.message for f in findings)
+
+    def test_method_named_open_clean(self):
+        code = "handle = store.open('x.bin')"
+        assert run_rule(SimPurityRule(), code) == []
+
+
+class TestAPI001MutableDefaults:
+    def test_flags_literal_defaults(self):
+        code = "def f(a=[], b={}, c=set()):\n    return a, b, c\n"
+        findings = run_rule(NoMutableDefaultRule(), code)
+        assert len(findings) == 3
+
+    def test_flags_kwonly_defaults(self):
+        code = "def f(*, acc=list()):\n    return acc\n"
+        assert run_rule(NoMutableDefaultRule(), code)
+
+    def test_none_default_clean(self):
+        code = "def f(a=None, b=(), c='x', n=0):\n    return a, b, c, n\n"
+        assert run_rule(NoMutableDefaultRule(), code) == []
+
+
+class TestLOG001NoPrint:
+    def test_flags_print(self):
+        (finding,) = run_rule(NoPrintRule(), "print('debug')")
+        assert finding.rule_id == "LOG001"
+
+    def test_docstring_examples_clean(self):
+        code = '"""Docs.\n\n>>> print(table.render())\n"""\nx = 1\n'
+        assert run_rule(NoPrintRule(), code) == []

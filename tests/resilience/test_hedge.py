@@ -71,6 +71,47 @@ class TestApply:
         assert (effective, hedged, won) == (5.0, True, False)
         assert policy.hedged_requests == 1
 
+    def test_backup_failure_is_accounted(self):
+        """A degraded hedge is not silent: hedge_errors increments and the
+        error breakdown names the concrete failure type."""
+        policy = armed_policy(baseline=0.1)
+
+        def broken_backup():
+            raise ConnectionError("no live backup")
+
+        policy.apply(5.0, broken_backup)
+        assert policy.hedge_errors == 1
+        assert policy.metrics.counter("hedge_errors").value == 1
+        assert policy.metrics.error_breakdown() == {
+            "hedge_backup": {"ConnectionError": 1}
+        }
+
+    def test_modelled_failures_are_absorbed(self):
+        from repro.errors import CircuitOpenError, RetriesExhaustedError
+
+        policy = armed_policy(baseline=0.1)
+        for exc in (CircuitOpenError("open"), RetriesExhaustedError("done"),
+                    TimeoutError("slow")):
+            def backup(exc=exc):
+                raise exc
+
+            effective, hedged, won = policy.apply(5.0, backup)
+            assert (hedged, won) == (True, False)
+        assert policy.hedge_errors == 3
+        assert policy.metrics.counter("hedge_errors").value == 3
+
+    def test_unexpected_exception_propagates(self):
+        """Narrowed except: a programming error (not a modelled failure)
+        must not be swallowed as a degraded hedge."""
+        policy = armed_policy(baseline=0.1)
+
+        def buggy_backup():
+            raise KeyError("wrong replica map key")
+
+        with pytest.raises(KeyError):
+            policy.apply(5.0, buggy_backup)
+        assert policy.hedge_errors == 0
+
     def test_effective_latency_feeds_history(self):
         policy = armed_policy(baseline=0.1, n=5)
         before = policy.observations

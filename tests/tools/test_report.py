@@ -1,8 +1,16 @@
 """Tests for the repro-report collation CLI."""
 
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
+import repro
 from repro.tools.report import collate, main
+
+_SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
 
 
 @pytest.fixture()
@@ -46,3 +54,29 @@ class TestCli:
 
     def test_missing_dir_errors(self, tmp_path):
         assert main(["--reports", str(tmp_path / "nope")]) == 1
+
+    def test_reports_path_is_file_errors(self, tmp_path):
+        not_a_dir = tmp_path / "reports.txt"
+        not_a_dir.write_text("not a directory\n")
+        assert main(["--reports", str(not_a_dir)]) == 1
+
+    def test_unwritable_out_errors(self, report_dir, tmp_path, capsys):
+        out = tmp_path / "no" / "such" / "dir" / "report.md"
+        assert main(["--reports", str(report_dir), "--out", str(out)]) == 1
+        assert "cannot write" in capsys.readouterr().err
+
+    def test_missing_dir_nonzero_exit_as_module(self, tmp_path):
+        """Regression: the `not a directory` error path must propagate a
+        non-zero *process* exit code through `python -m repro.tools.report`
+        (not just a return value the wrapper could drop)."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (_SRC_DIR, env.get("PYTHONPATH")) if p
+        )
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.tools.report",
+             "--reports", str(tmp_path / "nope")],
+            capture_output=True, text=True, env=env,
+        )
+        assert proc.returncode != 0
+        assert "is not a directory" in proc.stderr
