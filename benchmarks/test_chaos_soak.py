@@ -35,6 +35,17 @@ from repro.core.config import MIB
 from repro.core.metrics import MetricsRegistry
 from repro.core.page import installed_time_source
 from repro.core.metrics_export import to_json_dict
+from repro.obs import (
+    SimTracer,
+    SpanBuffer,
+    attribute_buffer,
+    critical_path,
+    format_attribution,
+    format_critical_path,
+    installed_tracer,
+    to_chrome_trace,
+    tree_signature,
+)
 from repro.distributed.client import DistributedCacheClient
 from repro.distributed.worker import CacheWorker
 from repro.resilience import (
@@ -105,6 +116,24 @@ def run_soak(seed: int, n_requests: int = N_REQUESTS) -> dict:
     clock = SimClock()
     with installed_time_source(clock.now):
         return _run_soak(clock, seed, n_requests)
+
+
+def run_traced_soak(
+    seed: int, n_requests: int = N_REQUESTS
+) -> tuple[dict, SimTracer]:
+    """The same soak with a SimTracer installed; returns (result, tracer).
+
+    The tracer draws ids from its own derived rng stream, so the traced
+    scenario's virtual results are identical to the untraced run's.
+    """
+    clock = SimClock()
+    tracer = SimTracer(
+        clock, RngStream(seed, "chaos-soak-trace"), buffer=SpanBuffer()
+    )
+    with installed_time_source(clock.now):
+        with installed_tracer(tracer):
+            result = _run_soak(clock, seed, n_requests)
+    return result, tracer
 
 
 def _run_soak(clock: SimClock, seed: int, n_requests: int) -> dict:
@@ -326,3 +355,75 @@ class TestChaosSoakDeterminism:
         assert report.deterministic
         assert report.hash_first == report.hash_second
         assert report.events_first > 3  # kills + breaker activity + summary
+
+
+class TestTracedSoak:
+    """The tracing acceptance gates: reconciliation, schema, determinism,
+    and zero behavioural impact."""
+
+    N = 480
+
+    def test_traced_results_match_untraced(self):
+        """Tracing must be a pure observer: the result dict of a traced
+        run is identical to the plain run's (the tracer's rng streams are
+        its own; no scenario draw is perturbed)."""
+        plain = run_soak(SEED, n_requests=self.N)
+        traced, tracer = run_traced_soak(SEED, n_requests=self.N)
+        assert traced == plain
+        assert len(tracer.buffer) > 0
+
+    def test_attribution_reconciles_within_1_percent(self):
+        """Per-request bucket sums land within 1 % of the measured virtual
+        latency, and the fleet total reconciles against latency_sum."""
+        result, tracer = run_traced_soak(SEED, n_requests=self.N)
+        reports = attribute_buffer(tracer.buffer)
+        assert len(reports) == self.N
+        off = [r for r in reports if not r.within(0.01)]
+        assert not off, (
+            f"{len(off)}/{len(reports)} traces off by >1%: "
+            f"{[(r.trace_id, r.wall, r.charged_total) for r in off[:5]]}"
+        )
+        wall_total = sum(r.wall for r in reports)
+        assert wall_total == pytest.approx(result["latency_sum"], rel=1e-6)
+
+        lines = [
+            f"requests traced    : {len(reports)}",
+            f"buffer dropped     : {tracer.buffer.dropped}",
+            "",
+            format_attribution(reports, top=3),
+        ]
+        slowest = sorted(reports, key=lambda r: (-r.wall, r.trace_id))[0]
+        lines += [
+            "",
+            f"critical path of slowest trace ({slowest.trace_id}):",
+            format_critical_path(
+                critical_path(tracer.buffer.trace(slowest.trace_id))
+            ),
+        ]
+        emit_report("trace_attribution", "\n".join(lines))
+
+    def test_chrome_export_schema_valid(self):
+        _, tracer = run_traced_soak(SEED, n_requests=60)
+        doc = to_chrome_trace(tracer.buffer.spans())
+        events = doc["traceEvents"]
+        assert events
+        for event in events:
+            assert event["ph"] in {"X", "M"}
+            assert "ts" in event
+            assert "pid" in event
+            assert "tid" in event
+            if event["ph"] == "X":
+                assert event["dur"] >= 0.0
+
+    @pytest.mark.determinism
+    def test_traced_double_run_identical_span_trees(self):
+        """Same seed, tracing on: the full span forest (ids, structure,
+        charges, events) is bit-identical across runs, and no span leaks."""
+        first_result, first_tracer = run_traced_soak(SEED, n_requests=self.N)
+        second_result, second_tracer = run_traced_soak(SEED, n_requests=self.N)
+        assert first_result == second_result
+        assert first_tracer.open_spans() == []
+        assert second_tracer.open_spans() == []
+        assert tree_signature(first_tracer.buffer.spans()) == tree_signature(
+            second_tracer.buffer.spans()
+        )

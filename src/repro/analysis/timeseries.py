@@ -17,7 +17,10 @@ def bucket_series(
     """Sum ``values`` (default: count events) into fixed-width time buckets.
 
     Returns a dense ``{bucket_index: total}`` covering 0..horizon so flat
-    regions show as zeros instead of missing points.
+    regions show as zeros instead of missing points.  Samples landing
+    exactly on (or past) the final bucket boundary are clamped into the
+    last bucket rather than spawning a sparse phantom bucket beyond the
+    dense range.
     """
     if bucket_seconds <= 0:
         raise ValueError(f"bucket_seconds must be positive, got {bucket_seconds}")
@@ -34,7 +37,8 @@ def bucket_series(
     n_buckets = int(end // bucket_seconds) + 1
     series = {b: 0.0 for b in range(n_buckets)}
     for t, v in zip(timestamps, values_arr):
-        series[int(t // bucket_seconds)] = series.get(int(t // bucket_seconds), 0.0) + v
+        idx = min(int(t // bucket_seconds), n_buckets - 1)
+        series[idx] += v
     return series
 
 

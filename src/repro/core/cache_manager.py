@@ -46,6 +46,7 @@ from repro.errors import (
     PageCorruptedError,
     PageNotFoundError,
 )
+from repro.obs.tracer import current_tracer
 from repro.sim.clock import Clock, SimClock
 from repro.sim.events import EventLoop
 from repro.sim.rng import RngStream
@@ -115,6 +116,13 @@ class LocalCacheManager:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.rng = rng if rng is not None else RngStream(0, "cache")
         self.metastore = PageMetaStore()
+        # attribution bucket for cache hits: device-backed stores are SSD
+        # time, pure in-memory stores are memory time (DESIGN.md §8)
+        self._hit_bucket = (
+            "cache_ssd"
+            if getattr(self.page_store, "device", None) is not None
+            else "cache_mem"
+        )
         self._allocator = make_allocator(self.config, self.metastore)
         self._policies = [
             make_eviction_policy(self.config.eviction_policy, self.rng.child(f"evict{i}"))
@@ -168,6 +176,30 @@ class LocalCacheManager:
         (caching the full page when admission, quota, and space permit).
         Reads past end-of-file are truncated, mirroring ranged GETs.
         """
+        tracer = current_tracer()
+        with tracer.span(
+            "cache_read", actor=self.metrics.name,
+            file_id=file_id, offset=offset, length=length,
+        ) as span:
+            result = self._read(file_id, offset, length, source, scope, ttl, span)
+            span.annotate("latency", result.latency)
+            span.annotate("page_hits", result.page_hits)
+            span.annotate("page_misses", result.page_misses)
+            self.metrics.histogram("read_latency_seconds").observe(
+                result.latency, exemplar=span.span_id or None
+            )
+            return result
+
+    def _read(
+        self,
+        file_id: str,
+        offset: int,
+        length: int,
+        source: DataSource,
+        scope: CacheScope | None,
+        ttl: float | None,
+        span,
+    ) -> CacheReadResult:
         scope = scope if scope is not None else CacheScope.global_scope()
         file_length = source.file_length(file_id)
         if offset >= file_length:
@@ -180,7 +212,9 @@ class LocalCacheManager:
         if not self.admission.admit(file_id, scope, now):
             # Non-cache read path (Figure 3): straight to the data source.
             self.metrics.counter("put_rejected_admission").inc()
+            span.event("admission_bypass")
             remote = source.read(file_id, offset, length)
+            self._charge_remote(span, source, remote.latency)
             result.latency += remote.latency
             result.bytes_from_remote += len(remote.data)
             result.page_misses += self._page_span(offset, length)
@@ -198,6 +232,22 @@ class LocalCacheManager:
             chunks.append(fragment)
         result.data = b"".join(chunks)
         return result
+
+    @staticmethod
+    def _charge_remote(span, source: DataSource, remote_latency: float) -> None:
+        """Split one remote latency into attribution buckets on ``span``.
+
+        Sources that decompose their latency expose side-channel attributes
+        (``last_retry_backoff`` from the resilience wrapper,
+        ``last_queue_wait`` from device/throttle-backed sources); whatever
+        is unexplained is charged as pure remote time.  The bucket sum
+        equals ``remote_latency`` exactly.
+        """
+        backoff = getattr(source, "last_retry_backoff", 0.0)
+        wait = getattr(source, "last_queue_wait", 0.0)
+        span.charge("retry_backoff", backoff)
+        span.charge("queueing", wait)
+        span.charge("remote", remote_latency - backoff - wait)
 
     def _page_span(self, offset: int, length: int) -> int:
         if length <= 0:
@@ -248,12 +298,14 @@ class LocalCacheManager:
             # keep the cached entry (the data is fine, the device stalled).
             self.metrics.counter("timeout_fallbacks").inc()
             self.metrics.record_error("get", exc)
+            current_tracer().current().event("timeout_fallback")
             result.fallbacks += 1
             return None
         except PageCorruptedError as exc:
             # Section 8 "corrupted files": early-evict the bad entry.
             self.metrics.counter("corruption_evictions").inc()
             self.metrics.record_error("get", exc)
+            current_tracer().current().event("corruption_fallback")
             self.delete_page(page_id)
             result.fallbacks += 1
             return None
@@ -269,6 +321,10 @@ class LocalCacheManager:
         self.metrics.counter("get_hits").inc()
         self.metrics.counter("bytes_read_cache").inc(len(data))
         latency = getattr(self.page_store, "last_op_latency", 0.0)
+        wait = getattr(self.page_store, "last_op_wait", 0.0)
+        span = current_tracer().current()
+        span.charge("queueing", wait)
+        span.charge(self._hit_bucket, latency - wait)
         result.latency += latency
         result.page_hits += 1
         result.bytes_from_cache += len(data)
@@ -301,6 +357,7 @@ class LocalCacheManager:
         page_offset = page_id.page_index * self.config.page_size
         page_length = min(self.config.page_size, file_length - page_offset)
         remote: ReadResult = source.read(page_id.file_id, page_offset, page_length)
+        self._charge_remote(current_tracer().current(), source, remote.latency)
         result.latency += remote.latency
         result.page_misses += 1
         result.bytes_from_remote += len(remote.data)

@@ -25,6 +25,8 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.sim.rng import RngStream
+
 
 class Counter:
     """A monotonically increasing count."""
@@ -56,42 +58,106 @@ class Gauge:
 
 
 class Histogram:
-    """A reservoir of observations supporting percentile queries.
+    """Observations with exact count/total/mean and bounded storage.
 
-    Observations are kept exactly (these simulations produce at most a few
-    million points); percentiles use linear interpolation, matching
-    ``numpy.percentile`` defaults.
+    Up to ``reservoir_cap`` observations are kept exactly; past the cap the
+    histogram switches to a uniform reservoir (Vitter's Algorithm R) seeded
+    from a :class:`~repro.sim.rng.RngStream`, so memory stays bounded on
+    arbitrarily long runs while every observation retains an equal chance
+    of representation.  ``count``/``total``/``mean`` are tracked exactly
+    regardless of sampling; ``percentile`` answers from whatever is
+    retained (exact below the cap, an unbiased estimate above it) using
+    linear interpolation, matching ``numpy.percentile`` defaults.
+
+    ``observe`` optionally carries an *exemplar* -- an opaque reference
+    (the active trace span id) linking the metric back to a trace; a small
+    ring of recent exemplars is retained.
     """
 
-    __slots__ = ("_values",)
+    DEFAULT_RESERVOIR = 65_536
+    EXEMPLAR_SLOTS = 8
 
-    def __init__(self) -> None:
+    __slots__ = (
+        "_values",
+        "_count",
+        "_total",
+        "_cap",
+        "_rng",
+        "_exemplars",
+        "_exemplar_seen",
+    )
+
+    def __init__(
+        self,
+        *,
+        reservoir_cap: int = DEFAULT_RESERVOIR,
+        rng: RngStream | None = None,
+    ) -> None:
+        if reservoir_cap <= 0:
+            raise ValueError(f"reservoir_cap must be > 0, got {reservoir_cap}")
         self._values: list[float] = []
+        self._count = 0
+        self._total = 0.0
+        self._cap = reservoir_cap
+        self._rng = rng if rng is not None else RngStream(0, "metrics/reservoir")
+        self._exemplars: list[tuple[float, str]] = []
+        self._exemplar_seen = 0
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: str | None = None) -> None:
         if not math.isfinite(value):
             raise ValueError(f"observation must be finite, got {value}")
-        self._values.append(value)
+        self._count += 1
+        self._total += value
+        if len(self._values) < self._cap:
+            self._values.append(value)
+        else:
+            # Algorithm R: keep each of the count observations with equal
+            # probability cap/count
+            slot = int(self._rng.rng.integers(0, self._count))
+            if slot < self._cap:
+                self._values[slot] = value
+        if exemplar is not None:
+            if len(self._exemplars) < self.EXEMPLAR_SLOTS:
+                self._exemplars.append((value, exemplar))
+            else:
+                self._exemplars[self._exemplar_seen % self.EXEMPLAR_SLOTS] = (
+                    value,
+                    exemplar,
+                )
+            self._exemplar_seen += 1
 
     def __len__(self) -> int:
-        return len(self._values)
+        return self._count
 
     @property
     def count(self) -> int:
-        return len(self._values)
+        return self._count
 
     @property
     def total(self) -> float:
-        return float(sum(self._values))
+        return self._total
 
     @property
     def mean(self) -> float:
-        if not self._values:
+        if not self._count:
             return 0.0
-        return self.total / len(self._values)
+        return self._total / self._count
+
+    @property
+    def sampled(self) -> bool:
+        """True once the reservoir has downsampled (count exceeded cap)."""
+        return self._count > len(self._values)
+
+    @property
+    def reservoir_cap(self) -> int:
+        return self._cap
+
+    def exemplars(self) -> list[tuple[float, str]]:
+        """Recent ``(value, reference)`` pairs, newest-slot ring order."""
+        return list(self._exemplars)
 
     def percentile(self, q: float) -> float:
-        """The ``q``-th percentile (0-100) of the observations."""
+        """The ``q``-th percentile (0-100) of the retained observations."""
         if not self._values:
             return 0.0
         if not 0 <= q <= 100:
@@ -102,7 +168,29 @@ class Histogram:
         return list(self._values)
 
     def merge(self, other: "Histogram") -> None:
-        self._values.extend(other._values)
+        """Fold ``other`` in: exact count/total always; if the combined
+        retained values overflow this histogram's cap they are downsampled
+        uniformly (deterministically, via this histogram's rng stream)."""
+        self._count += other._count
+        self._total += other._total
+        combined = self._values + other._values
+        if len(combined) > self._cap:
+            keep = sorted(
+                self._rng.rng.choice(
+                    len(combined), size=self._cap, replace=False
+                ).tolist()
+            )
+            combined = [combined[i] for i in keep]
+        self._values = combined
+        for value, ref in other._exemplars:
+            if len(self._exemplars) < self.EXEMPLAR_SLOTS:
+                self._exemplars.append((value, ref))
+            else:
+                self._exemplars[self._exemplar_seen % self.EXEMPLAR_SLOTS] = (
+                    value,
+                    ref,
+                )
+            self._exemplar_seen += 1
 
 
 @dataclass(slots=True)
@@ -188,7 +276,11 @@ class MetricsRegistry:
 
     def histogram(self, name: str) -> Histogram:
         if name not in self._histograms:
-            self._histograms[name] = Histogram()
+            # deterministic per-(registry, metric) reservoir stream so
+            # downsampling never perturbs (or is perturbed by) scenario rngs
+            self._histograms[name] = Histogram(
+                rng=RngStream(0, f"metrics/{self.name}/{name}")
+            )
         return self._histograms[name]
 
     def record_error(self, operation: str, error: BaseException | str) -> None:

@@ -41,11 +41,18 @@ def to_json_dict(registry: MetricsRegistry) -> dict:
     for name, histogram in registry._histograms.items():
         histograms[name] = {
             "count": histogram.count,
+            "total": histogram.total,
             "mean": histogram.mean,
+            "sampled": histogram.sampled,
             **{
                 f"p{int(q)}": histogram.percentile(q)
                 for q in _HISTOGRAM_QUANTILES
             },
+            # metric -> trace linkage: recent (value, span_id) exemplars
+            "exemplars": [
+                {"value": value, "span_id": ref}
+                for value, ref in histogram.exemplars()
+            ],
         }
     return {
         "name": registry.name,
@@ -78,6 +85,9 @@ def to_prometheus_text(registry: MetricsRegistry) -> str:
         metric = f"cache_{_sanitize(name)}"
         lines.append(
             f'{metric}_count{{instance="{instance}"}} {histogram.count}'
+        )
+        lines.append(
+            f'{metric}_sum{{instance="{instance}"}} {histogram.total}'
         )
         for q in _HISTOGRAM_QUANTILES:
             lines.append(

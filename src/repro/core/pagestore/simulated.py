@@ -80,6 +80,9 @@ class SimulatedSsdPageStore:
         self._device = device
         self.faults = faults if faults is not None else FaultPlan()
         self.last_op_latency = 0.0
+        # queueing share of last_op_latency (device channel wait), exposed
+        # so tracing can split a hit's cost into cache_ssd vs. queueing
+        self.last_op_wait = 0.0
 
     @property
     def device(self) -> StorageDevice:
@@ -100,6 +103,7 @@ class SimulatedSsdPageStore:
                 f"injected write failure on {page_id} (dir={directory})"
             )
         self.last_op_latency = self._device.write(len(data))
+        self.last_op_wait = self._device.last_wait
         self._backing.put(page_id, data, directory)
 
     def get(
@@ -119,6 +123,7 @@ class SimulatedSsdPageStore:
             )
         data = self._backing.get(page_id, directory, offset, length)
         latency = self._device.read(len(data))
+        self.last_op_wait = self._device.last_wait
         if self.faults.hang_reads_seconds is not None:
             latency += self.faults.hang_reads_seconds
         self.last_op_latency = latency

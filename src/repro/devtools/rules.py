@@ -532,6 +532,78 @@ class NoPrintRule(Rule):
                 )
 
 
+_SPAN_OPENERS = {"span", "start_span"}
+_SPAN_CLOSERS = {"finish", "end_span", "end", "close"}
+
+
+class SpanLifecycleRule(Rule):
+    """TRC001: tracer spans are closed via ``with`` or ``try/finally``.
+
+    A span left open corrupts every analysis downstream of it -- the
+    attribution reconciliation, the critical path, and the sanitizer's
+    span-leak check all assume the tree is closed when the operation
+    returns.  A ``tracer.span(...)`` call is sanctioned only as a
+    ``with``-statement context expression, or assigned to a name that some
+    ``finally`` block in the same file demonstrably closes
+    (``.finish()``/``.end_span()``/``.end()``/``.close()``).  Anything
+    else -- a bare expression statement, a span passed straight into
+    another call -- leaks on the first exception.
+    """
+
+    rule_id = "TRC001"
+    description = "tracer spans closed via context manager or try/finally"
+    include = ("src/repro",)
+    allow = (
+        "src/repro/obs/span.py",    # the lifecycle implementation itself
+        "src/repro/obs/tracer.py",  # creates and finishes spans by design
+    )
+
+    @staticmethod
+    def _is_opener(node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _SPAN_OPENERS
+        )
+
+    def check(self, tree, path, lines):
+        sanctioned: set[int] = set()
+        closed_names: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if self._is_opener(item.context_expr):
+                        sanctioned.add(id(item.context_expr))
+            elif isinstance(node, ast.Try):
+                for stmt in node.finalbody:
+                    for inner in ast.walk(stmt):
+                        if (
+                            isinstance(inner, ast.Call)
+                            and isinstance(inner.func, ast.Attribute)
+                            and inner.func.attr in _SPAN_CLOSERS
+                            and isinstance(inner.func.value, ast.Name)
+                        ):
+                            closed_names.add(inner.func.value.id)
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Assign)
+                and self._is_opener(node.value)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id in closed_names
+            ):
+                sanctioned.add(id(node.value))
+        for node in ast.walk(tree):
+            if self._is_opener(node) and id(node) not in sanctioned:
+                yield self.finding(
+                    path, node,
+                    "span opened without a guaranteed close",
+                    "use `with tracer.span(...) as span:` or close the "
+                    "assigned span in a finally block",
+                    lines,
+                )
+
+
 def default_rules() -> list[Rule]:
     """Fresh instances of every rule (MET001 carries cross-file state)."""
     return [
@@ -543,6 +615,7 @@ def default_rules() -> list[Rule]:
         SimPurityRule(),
         NoMutableDefaultRule(),
         NoPrintRule(),
+        SpanLifecycleRule(),
     ]
 
 
@@ -555,4 +628,5 @@ ALL_RULES: tuple[type[Rule], ...] = (
     SimPurityRule,
     NoMutableDefaultRule,
     NoPrintRule,
+    SpanLifecycleRule,
 )

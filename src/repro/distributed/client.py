@@ -30,6 +30,7 @@ from repro.core.cache_manager import CacheReadResult
 from repro.core.metrics import MetricsRegistry
 from repro.core.scope import CacheScope
 from repro.distributed.worker import CacheWorker
+from repro.obs.tracer import current_tracer
 from repro.presto.hashring import ConsistentHashRing
 from repro.resilience.health import NodeHealthTracker
 from repro.resilience.hedge import HedgePolicy
@@ -82,6 +83,26 @@ class DistributedCacheClient:
         scope: CacheScope | None = None,
     ) -> CacheReadResult:
         """Read through the cache tier: primary -> secondary -> remote."""
+        tracer = current_tracer()
+        with tracer.span(
+            "tier_read", actor="tier-client",
+            file_id=file_id, offset=offset, length=length,
+        ) as span:
+            result = self._routed_read(file_id, offset, length, scope, span)
+            span.annotate("latency", result.latency)
+            self.metrics.histogram("tier_read_latency_seconds").observe(
+                result.latency, exemplar=span.span_id or None
+            )
+            return result
+
+    def _routed_read(
+        self,
+        file_id: str,
+        offset: int,
+        length: int,
+        scope: CacheScope | None,
+        span,
+    ) -> CacheReadResult:
         self.reads += 1
         now = self.clock.now()
         self.ring.evict_expired(now)
@@ -95,6 +116,7 @@ class DistributedCacheClient:
             )
             if breaker is not None and not breaker.allow():
                 # open breaker: skip without attempting (no timeout charged)
+                span.event("breaker_skip", worker=candidate)
                 continue
             try:
                 result = worker.serve_read(file_id, offset, length, scope=scope)
@@ -105,31 +127,51 @@ class DistributedCacheClient:
                 self.metrics.counter("failovers").inc()
                 if self.health is not None:
                     self.health.record_failure(candidate)
+                span.event("failover", worker=candidate)
                 continue
             if self.health is not None:
                 self.health.record_success(candidate)
             if position > 0:
                 # served, but not by the primary: degraded-mode accounting
                 self.metrics.counter("degraded_serves").inc()
+            span.annotate("served_by", candidate)
             if self.hedge is not None:
-                result.latency, __, __ = self.hedge.apply(
-                    result.latency,
+                primary_latency = result.latency
+                result.latency, hedged, hedge_won = self.hedge.apply(
+                    primary_latency,
                     lambda: self._backup_read(
                         candidates, candidate, file_id, offset, length, scope
                     ),
                 )
+                if hedged:
+                    # The effective latency replaced the primary's after its
+                    # charges were recorded: flag the trace for proportional
+                    # rescaling (see repro.obs.attribution).
+                    span.event("hedge", won=hedge_won, primary=primary_latency)
+                    span.annotate("hedged", True)
+                    if result.latency != primary_latency:
+                        span.annotate("rescale", True)
             return result
         # all replicas unavailable: remote storage fallback
         self.remote_fallbacks += 1
         self.metrics.counter("remote_fallbacks").inc()
         self.metrics.counter("degraded_serves").inc()
+        span.event("remote_fallback")
         remote = self.source.read(file_id, offset, length)
+        self._charge_remote(span, remote.latency)
         return CacheReadResult(
             data=remote.data,
             latency=remote.latency,
             page_misses=1,
             bytes_from_remote=len(remote.data),
         )
+
+    def _charge_remote(self, span, remote_latency: float) -> None:
+        backoff = getattr(self.source, "last_retry_backoff", 0.0)
+        wait = getattr(self.source, "last_queue_wait", 0.0)
+        span.charge("retry_backoff", backoff)
+        span.charge("queueing", wait)
+        span.charge("remote", remote_latency - backoff - wait)
 
     def _backup_read(
         self,
@@ -153,7 +195,16 @@ class DistributedCacheClient:
                 continue
             if self.health is not None and not self.health.is_available(candidate):
                 continue
-            return worker.serve_read(file_id, offset, length, scope=scope).latency
+            tracer = current_tracer()
+            # Speculative work: the hedge_attempt attr keeps this subtree
+            # out of the serving path's latency attribution.
+            with tracer.span(
+                "hedge_attempt", actor="tier-client",
+                hedge_attempt=True, worker=candidate,
+            ):
+                return worker.serve_read(
+                    file_id, offset, length, scope=scope
+                ).latency
         raise ConnectionError("no live backup replica to hedge against")
 
     def notify_recovered(self, name: str) -> None:

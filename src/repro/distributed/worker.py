@@ -7,6 +7,7 @@ from repro.core.config import CacheConfig, CacheDirectory, MIB
 from repro.core.metrics import MetricsRegistry
 from repro.core.pagestore.simulated import SimulatedSsdPageStore
 from repro.core.scope import CacheScope
+from repro.obs.tracer import current_tracer
 from repro.sim.clock import Clock, SimClock
 from repro.storage.device import DeviceProfile, StorageDevice
 from repro.storage.remote import DataSource
@@ -65,20 +66,25 @@ class CacheWorker:
         """Handle one client read; raises if the worker is offline."""
         if not self.online:
             raise ConnectionError(f"cache worker {self.name} is offline")
-        if self._crash_countdown is not None:
-            self._crash_countdown -= 1
-            if self._crash_countdown <= 0:
-                # the process dies while serving: the client sees a dropped
-                # connection, not a response
-                self._crash_countdown = None
-                self.fail()
-                raise ConnectionError(
-                    f"cache worker {self.name} crashed mid-read"
-                )
-        result = self.cache.read(file_id, offset, length, self.source, scope=scope)
-        result.latency += self.network_rtt
-        self.requests_served += 1
-        return result
+        tracer = current_tracer()
+        with tracer.span("serve_read", actor=self.name, file_id=file_id) as span:
+            if self._crash_countdown is not None:
+                self._crash_countdown -= 1
+                if self._crash_countdown <= 0:
+                    # the process dies while serving: the client sees a dropped
+                    # connection, not a response
+                    self._crash_countdown = None
+                    self.fail()
+                    raise ConnectionError(
+                        f"cache worker {self.name} crashed mid-read"
+                    )
+            result = self.cache.read(
+                file_id, offset, length, self.source, scope=scope
+            )
+            span.charge("network", self.network_rtt)
+            result.latency += self.network_rtt
+            self.requests_served += 1
+            return result
 
     def schedule_crash_after(self, requests: int) -> None:
         """Chaos hook: crash while serving the ``requests``-th next read

@@ -29,6 +29,7 @@ from repro.core.metrics import MetricsRegistry
 from repro.core.pagestore.simulated import SimulatedSsdPageStore
 from repro.errors import BlockNotFoundError
 from repro.hdfs_cache.block_mapping import BlockMapping
+from repro.obs.tracer import current_tracer
 from repro.sim.clock import Clock
 from repro.storage.device import DeviceProfile, StorageDevice
 from repro.storage.hdfs.block import BlockId
@@ -60,6 +61,8 @@ class _DataNodeSource:
 
     def __init__(self, owner: "CachedDataNode") -> None:
         self._owner = owner
+        # HDD queue wait of the last read, forwarded for latency attribution
+        self.last_queue_wait = 0.0
 
     def file_length(self, file_id: str) -> int:
         identity = self._owner._identity_of(file_id)
@@ -69,7 +72,9 @@ class _DataNodeSource:
 
     def read(self, file_id: str, offset: int, length: int) -> ReadResult:
         identity = self._owner._identity_of(file_id)
-        return self._owner._read_block_and_meta(identity, offset, length)
+        result = self._owner._read_block_and_meta(identity, offset, length)
+        self.last_queue_wait = self._owner.datanode.device.last_wait
+        return result
 
 
 class CachedDataNode:
@@ -159,6 +164,18 @@ class CachedDataNode:
         self, identity: BlockId, offset: int = 0, length: int | None = None
     ) -> CachedReadResult:
         """Read a block range through the Figure-11 workflow."""
+        tracer = current_tracer()
+        with tracer.span(
+            "block_read", actor=self.datanode.name, block=str(identity)
+        ) as span:
+            result = self._read_block(identity, offset, length, span)
+            span.annotate("latency", result.latency)
+            span.annotate("from_cache", result.from_cache)
+            return result
+
+    def _read_block(
+        self, identity: BlockId, offset: int, length: int | None, span
+    ) -> CachedReadResult:
         if length is None:
             length = self.datanode.block_length(identity) - offset
         if not self.enabled:
@@ -175,6 +192,7 @@ class CachedDataNode:
             self._purge_cache_entry(identity.block_id)
 
         if self.rate_limiter.record_and_check(str(identity.block_id), now):
+            span.event("cache_load", block=str(identity))
             self._load_into_cache(identity, key)
             return self._cache_read(identity, key, offset, length)
         return self._non_cache_read(identity, offset, length)
@@ -215,9 +233,18 @@ class CachedDataNode:
         )
 
     def _load_into_cache(self, identity: BlockId, key: str) -> None:
-        """Admit the whole (block || meta) image into the SSD cache."""
-        total = self._source.file_length(key)
-        self.cache.read(key, 0, total, self._source)
+        """Admit the whole (block || meta) image into the SSD cache.
+
+        The load's latency is not charged to the triggering read (the
+        reader is served from the freshly warmed cache); the ``off_path``
+        attr keeps its charges out of that read's latency attribution.
+        """
+        tracer = current_tracer()
+        with tracer.span(
+            "cache_load", actor=self.datanode.name, off_path=True
+        ):
+            total = self._source.file_length(key)
+            self.cache.read(key, 0, total, self._source)
         self.mapping.record(identity.block_id, key, total)
 
     # -- mutations the cache must track ----------------------------------------------

@@ -1,0 +1,58 @@
+"""Bounded in-memory span sink.
+
+A soak run produces one small span tree per request; the buffer caps total
+retained spans so a long traced run cannot grow without bound (the same
+discipline the Histogram reservoir applies to observations).  When full it
+drops *new* spans and counts them -- dropping old ones would tear already
+recorded trees apart.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.obs.span import Span
+
+
+class SpanBuffer:
+    """Finished-span storage with a hard capacity."""
+
+    DEFAULT_CAPACITY = 100_000
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity}")
+        self.capacity = capacity
+        self._spans: list[Span] = []
+        self.dropped = 0
+
+    def record(self, span: Span) -> None:
+        if len(self._spans) >= self.capacity:
+            self.dropped += 1
+            return
+        self._spans.append(span)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def spans(self) -> list[Span]:
+        """All recorded spans in completion order."""
+        return list(self._spans)
+
+    def traces(self) -> dict[str, list[Span]]:
+        """Spans grouped by trace id, insertion-ordered (deterministic)."""
+        grouped: dict[str, list[Span]] = defaultdict(list)
+        for span in self._spans:
+            grouped[span.trace_id].append(span)
+        return dict(grouped)
+
+    def trace(self, trace_id: str) -> list[Span]:
+        return [s for s in self._spans if s.trace_id == trace_id]
+
+    def roots(self) -> list[Span]:
+        """Root spans (no parent) in completion order."""
+        return [s for s in self._spans if s.parent_id is None]
+
+    def clear(self) -> None:
+        self._spans.clear()
+        self.dropped = 0

@@ -1,0 +1,91 @@
+"""Critical-path extraction over a trace's span tree.
+
+Under a virtual clock the span tree is a *cost* tree, not a timeline:
+sibling spans executed sequentially in simulation order and each span's
+weight is its charge total.  The critical path is therefore the
+heaviest-descendant chain from the root -- the sequence of operations an
+optimisation would have to touch to shorten the request.  Hedge-attempt
+subtrees are skipped (they are off the serving path by construction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.attribution import _children_index, is_off_path
+from repro.obs.span import Span
+
+
+@dataclass(slots=True)
+class PathStep:
+    """One hop on the critical path."""
+
+    name: str
+    actor: str
+    span_id: str
+    self_seconds: float
+    subtree_seconds: float
+    dominant_bucket: str
+
+
+def _subtree_cost(span: Span, index: dict[str | None, list[Span]]) -> float:
+    if is_off_path(span):
+        return 0.0
+    total = span.charged_total
+    for child in index.get(span.span_id, ()):
+        total += _subtree_cost(child, index)
+    return total
+
+
+def _dominant_bucket(span: Span) -> str:
+    if not span.charges:
+        return "-"
+    # max by (seconds, bucket) so float ties break deterministically
+    return max(span.charges.items(), key=lambda kv: (kv[1], kv[0]))[0]
+
+
+def critical_path(spans: list[Span]) -> list[PathStep]:
+    """The heaviest root-to-leaf chain of one trace."""
+    if not spans:
+        return []
+    roots = [s for s in spans if s.parent_id is None]
+    if not roots:
+        return []
+    index = _children_index(spans)
+    steps: list[PathStep] = []
+    node = roots[0]
+    while True:
+        steps.append(
+            PathStep(
+                name=node.name,
+                actor=node.actor,
+                span_id=node.span_id,
+                self_seconds=node.charged_total,
+                subtree_seconds=_subtree_cost(node, index),
+                dominant_bucket=_dominant_bucket(node),
+            )
+        )
+        children = [
+            c for c in index.get(node.span_id, ()) if not is_off_path(c)
+        ]
+        if not children:
+            return steps
+        # heaviest child; ties resolve by (start, span_id) for determinism
+        node = max(
+            children,
+            key=lambda c: (_subtree_cost(c, index), -c.start, c.span_id),
+        )
+
+
+def format_critical_path(steps: list[PathStep]) -> str:
+    if not steps:
+        return "(empty trace)"
+    lines = []
+    for depth, step in enumerate(steps):
+        actor = f" @{step.actor}" if step.actor else ""
+        lines.append(
+            f"{'  ' * depth}{step.name}{actor}  "
+            f"self={step.self_seconds:.6f}s  subtree={step.subtree_seconds:.6f}s  "
+            f"[{step.dominant_bucket}]"
+        )
+    return "\n".join(lines)

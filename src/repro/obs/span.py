@@ -1,0 +1,211 @@
+"""Span: one timed unit of work on the virtual clock.
+
+A span records *where* virtual latency came from, not how long a region of
+wall-clock code took.  In this simulation latencies are returned values
+(``StorageDevice.read`` hands back seconds; the ``SimClock`` rarely advances
+while a read executes), so a span's primary payload is its ``charges``
+dict -- explicit per-bucket attributions recorded at exactly the call sites
+that add latency to a result.  Start/end timestamps (from the tracer's
+clock) order spans; charges measure them.
+
+Spans are context managers and must be closed that way or via
+``try/finally`` -- replint rule TRC001 enforces this repo-wide.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+# Canonical attribution buckets (DESIGN.md §8).  ``charge`` accepts any
+# bucket name, but attribution reports group these first, in this order.
+ATTRIBUTION_BUCKETS = (
+    "cache_mem",
+    "cache_ssd",
+    "remote",
+    "queueing",
+    "retry_backoff",
+    "network",
+    "compute",
+)
+
+
+class Span:
+    """A single traced operation with parent/child links and latency charges.
+
+    Created via ``tracer.span(...)`` (never directly in instrumented code);
+    the tracer assigns deterministic ids and timestamps.
+    """
+
+    __slots__ = (
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "name",
+        "actor",
+        "start",
+        "end",
+        "attrs",
+        "events",
+        "charges",
+        "sampled",
+        "_tracer",
+    )
+
+    def __init__(
+        self,
+        *,
+        trace_id: str,
+        span_id: str,
+        parent_id: str | None,
+        name: str,
+        actor: str,
+        start: float,
+        sampled: bool,
+        tracer: Any,
+        attrs: dict[str, Any],
+    ) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.actor = actor
+        self.start = start
+        self.end: float | None = None
+        self.attrs = attrs
+        self.events: list[dict[str, Any]] = []
+        self.charges: dict[str, float] = {}
+        self.sampled = sampled
+        self._tracer = tracer
+
+    # -- recording -----------------------------------------------------------
+
+    def charge(self, bucket: str, seconds: float) -> None:
+        """Attribute ``seconds`` of virtual latency to ``bucket``.
+
+        Negative/zero charges are dropped (tiny negatives arise from
+        floating-point subtraction when decomposing a composite latency).
+        """
+        if seconds <= 0.0:
+            return
+        self.charges[bucket] = self.charges.get(bucket, 0.0) + seconds
+
+    def annotate(self, key: str, value: Any) -> None:
+        self.attrs[key] = value
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record a point event (retry, breaker trip, hedge launch, ...)."""
+        entry: dict[str, Any] = {"name": name}
+        if attrs:
+            entry.update(attrs)
+        self.events.append(entry)
+
+    @property
+    def charged_total(self) -> float:
+        return sum(self.charges.values())
+
+    @property
+    def open(self) -> bool:
+        return self.end is None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def finish(self) -> None:
+        """End the span (idempotent); the tracer records it."""
+        if self.end is not None:
+            return
+        self._tracer._finish(self)
+
+    # TRC001 recognises either spelling in a ``finally`` block.
+    end_span = finish
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type: type | None, exc: BaseException | None, tb: Any) -> None:
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        self.finish()
+
+    # -- serialisation -------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-safe dict, stable across runs for identical executions."""
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "actor": self.actor,
+            "start": self.start,
+            "end": self.end,
+            "attrs": dict(self.attrs),
+            "events": [dict(e) for e in self.events],
+            "charges": dict(self.charges),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "open" if self.open else "closed"
+        return (
+            f"Span({self.name!r}, id={self.span_id}, trace={self.trace_id}, "
+            f"{state}, charges={self.charges})"
+        )
+
+
+class NoopSpan:
+    """The span handed out when tracing is disabled.
+
+    Every method is a cheap no-op so instrumented code never branches on
+    whether tracing is active.  A single module-level instance is shared.
+    """
+
+    __slots__ = ()
+
+    trace_id = ""
+    span_id = ""
+    parent_id = None
+    name = ""
+    actor = ""
+    start = 0.0
+    end = 0.0
+    attrs: dict[str, Any] = {}
+    events: list[dict[str, Any]] = []
+    charges: dict[str, float] = {}
+    sampled = False
+    charged_total = 0.0
+    open = False
+
+    def charge(self, bucket: str, seconds: float) -> None:
+        return None
+
+    def annotate(self, key: str, value: Any) -> None:
+        return None
+
+    def event(self, name: str, **attrs: Any) -> None:
+        return None
+
+    def finish(self) -> None:
+        return None
+
+    end_span = finish
+
+    def to_dict(self) -> dict[str, Any]:
+        return {}
+
+    def __enter__(self) -> "NoopSpan":
+        return self
+
+    def __exit__(self, exc_type: type | None, exc: BaseException | None, tb: Any) -> None:
+        return None
+
+
+NOOP_SPAN = NoopSpan()
+
+
+def iter_children(
+    span: Span, spans_by_parent: dict[str | None, list[Span]]
+) -> Iterator[Span]:
+    """Children of ``span`` in deterministic (start, span_id) order."""
+    for child in sorted(
+        spans_by_parent.get(span.span_id, ()), key=lambda s: (s.start, s.span_id)
+    ):
+        yield child

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from repro.core.admission.base import AdmissionPolicy
 from repro.core.metrics import MetricsRegistry
 from repro.errors import SchedulerError
+from repro.obs.tracer import current_tracer
 from repro.presto.catalog import Catalog
 from repro.presto.hashring import ConsistentHashRing
 from repro.presto.operators import OperatorResult, ScanProfile
@@ -207,6 +208,9 @@ class Coordinator:
                 self.split_failovers += 1
                 self.metrics.counter("failovers").inc()
                 self.metrics.record_error("execute_split", exc)
+                current_tracer().current().event(
+                    "split_failover", worker=decision.worker
+                )
                 if self.health is not None:
                     self.health.record_failure(decision.worker)
                 load.pop(decision.worker, None)
@@ -216,40 +220,62 @@ class Coordinator:
             return decision, result, probes_charged
 
     def run_query(self, query: QueryProfile) -> QueryResult:
-        """Plan, schedule, and execute one query; record its stats."""
-        stats = QueryRuntimeStats(query_id=query.query_id)
-        stats.tables = [scan.table for scan in query.scans]
-        planned = self.plan(query)
-        stats.splits = len(planned)
-        partitions_touched: set[str] = set()
+        """Plan, schedule, and execute one query; record its stats.
 
-        schedulable = self._schedulable_workers()
-        if not schedulable:
-            raise SchedulerError("no online workers to run the query")
-        load = {name: 0 for name in schedulable}
-        per_worker_busy = {name: 0.0 for name in self.workers}
-        probe_latency = getattr(self.scheduler, "probe_latency", 0.0)
-        scheduling_wall = 0.0
-        for split, profile in planned:
-            decision, result, probes = self._execute_with_failover(
-                split, profile, stats, load
+        When tracing is enabled the query becomes one trace: a ``query``
+        root span over per-split ``execute_split`` children.  Attribution
+        reconciles against the *resource-seconds* the query consumed
+        (``stats.input_wall + stats.compute_wall + compute_seconds`` --
+        the ``QueryRuntimeStats`` totals); the parallel makespan
+        ``wall_seconds`` is annotated separately as ``makespan``.
+        """
+        tracer = current_tracer()
+        with tracer.span(
+            "query", actor="coordinator", query_id=query.query_id
+        ) as qspan:
+            stats = QueryRuntimeStats(query_id=query.query_id)
+            stats.tables = [scan.table for scan in query.scans]
+            planned = self.plan(query)
+            stats.splits = len(planned)
+            partitions_touched: set[str] = set()
+
+            schedulable = self._schedulable_workers()
+            if not schedulable:
+                raise SchedulerError("no online workers to run the query")
+            load = {name: 0 for name in schedulable}
+            per_worker_busy = {name: 0.0 for name in self.workers}
+            probe_latency = getattr(self.scheduler, "probe_latency", 0.0)
+            scheduling_wall = 0.0
+            for split, profile in planned:
+                decision, result, probes = self._execute_with_failover(
+                    split, profile, stats, load
+                )
+                scheduling_wall += probes * probe_latency
+                load[decision.worker] += 1
+                if decision.affinity:
+                    stats.affinity_hits += 1
+                if decision.bypass_cache:
+                    stats.cache_bypassed_splits += 1
+                per_worker_busy[decision.worker] += result.input_wall + result.cpu_time
+                partitions_touched.add(f"{split.qualified_table}/{split.partition}")
+
+            stats.partitions = sorted(partitions_touched)
+            scan_wall = max(per_worker_busy.values()) if per_worker_busy else 0.0
+            wall = scan_wall + query.compute_seconds + scheduling_wall
+            stats.input_wall += scheduling_wall
+            stats.total_wall = wall
+            qspan.charge("queueing", scheduling_wall)
+            qspan.charge("compute", query.compute_seconds)
+            qspan.annotate(
+                "wall", stats.input_wall + stats.compute_wall + query.compute_seconds
             )
-            scheduling_wall += probes * probe_latency
-            load[decision.worker] += 1
-            if decision.affinity:
-                stats.affinity_hits += 1
-            if decision.bypass_cache:
-                stats.cache_bypassed_splits += 1
-            per_worker_busy[decision.worker] += result.input_wall + result.cpu_time
-            partitions_touched.add(f"{split.qualified_table}/{split.partition}")
-
-        stats.partitions = sorted(partitions_touched)
-        scan_wall = max(per_worker_busy.values()) if per_worker_busy else 0.0
-        wall = scan_wall + query.compute_seconds + scheduling_wall
-        stats.input_wall += scheduling_wall
-        stats.total_wall = wall
-        self.aggregator.record(stats)
-        return QueryResult(query_id=query.query_id, wall_seconds=wall, stats=stats)
+            qspan.annotate("makespan", wall)
+            qspan.annotate("splits", stats.splits)
+            self.metrics.histogram("query_wall_seconds").observe(
+                wall, exemplar=qspan.span_id or None
+            )
+            self.aggregator.record(stats)
+            return QueryResult(query_id=query.query_id, wall_seconds=wall, stats=stats)
 
     def run_queries(self, queries: list[QueryProfile]) -> list[QueryResult]:
         return [self.run_query(q) for q in queries]
@@ -283,49 +309,67 @@ class Coordinator:
         # backlog, which is what the scheduler's busy check inspects
         outstanding: dict[str, list[float]] = {name: [] for name in self.workers}
         results: list[QueryResult] = []
+        tracer = current_tracer()
         for arrival, query in sorted(arrivals, key=lambda pair: pair[0]):
-            stats = QueryRuntimeStats(query_id=query.query_id)
-            stats.tables = [scan.table for scan in query.scans]
-            planned = self.plan(query)
-            stats.splits = len(planned)
-            partitions_touched: set[str] = set()
-            scheduling_wall = 0.0
-            completion = arrival
-            for name in self.workers:
-                outstanding[name] = [
-                    t for t in outstanding[name] if t > arrival
-                ]
-            for split, profile in planned:
-                backlog = {
-                    name: len(pending) for name, pending in outstanding.items()
-                }
-                decision = self.scheduler.assign(split, backlog)
-                scheduling_wall += max(decision.probes - 1, 0) * probe_latency
-                if decision.affinity:
-                    stats.affinity_hits += 1
-                if decision.bypass_cache:
-                    stats.cache_bypassed_splits += 1
-                worker = self.workers[decision.worker]
-                result = worker.execute_split(
-                    split, profile, stats, bypass_cache=decision.bypass_cache
+            with tracer.span(
+                "query", actor="coordinator",
+                query_id=query.query_id, arrival=arrival,
+            ) as qspan:
+                stats = QueryRuntimeStats(query_id=query.query_id)
+                stats.tables = [scan.table for scan in query.scans]
+                planned = self.plan(query)
+                stats.splits = len(planned)
+                partitions_touched: set[str] = set()
+                scheduling_wall = 0.0
+                queue_wait = 0.0
+                completion = arrival
+                for name in self.workers:
+                    outstanding[name] = [
+                        t for t in outstanding[name] if t > arrival
+                    ]
+                for split, profile in planned:
+                    backlog = {
+                        name: len(pending) for name, pending in outstanding.items()
+                    }
+                    decision = self.scheduler.assign(split, backlog)
+                    scheduling_wall += max(decision.probes - 1, 0) * probe_latency
+                    if decision.affinity:
+                        stats.affinity_hits += 1
+                    if decision.bypass_cache:
+                        stats.cache_bypassed_splits += 1
+                    worker = self.workers[decision.worker]
+                    result = worker.execute_split(
+                        split, profile, stats, bypass_cache=decision.bypass_cache
+                    )
+                    start = max(arrival, worker_free_at[decision.worker])
+                    queue_wait += start - arrival
+                    finish = start + result.input_wall + result.cpu_time
+                    worker_free_at[decision.worker] = finish
+                    outstanding[decision.worker].append(finish)
+                    completion = max(completion, finish)
+                    partitions_touched.add(
+                        f"{split.qualified_table}/{split.partition}"
+                    )
+                stats.partitions = sorted(partitions_touched)
+                wall = (completion - arrival) + query.compute_seconds + scheduling_wall
+                stats.total_wall = wall
+                stats.input_wall += scheduling_wall
+                qspan.charge("queueing", scheduling_wall)
+                qspan.charge("compute", query.compute_seconds)
+                qspan.annotate(
+                    "wall",
+                    stats.input_wall + stats.compute_wall + query.compute_seconds,
                 )
-                start = max(arrival, worker_free_at[decision.worker])
-                finish = start + result.input_wall + result.cpu_time
-                worker_free_at[decision.worker] = finish
-                outstanding[decision.worker].append(finish)
-                completion = max(completion, finish)
-                partitions_touched.add(
-                    f"{split.qualified_table}/{split.partition}"
+                qspan.annotate("makespan", wall)
+                qspan.annotate("queue_wait", queue_wait)
+                self.metrics.histogram("query_wall_seconds").observe(
+                    wall, exemplar=qspan.span_id or None
                 )
-            stats.partitions = sorted(partitions_touched)
-            wall = (completion - arrival) + query.compute_seconds + scheduling_wall
-            stats.total_wall = wall
-            stats.input_wall += scheduling_wall
-            self.aggregator.record(stats)
-            results.append(
-                QueryResult(query_id=query.query_id, wall_seconds=wall,
-                            stats=stats)
-            )
+                self.aggregator.record(stats)
+                results.append(
+                    QueryResult(query_id=query.query_id, wall_seconds=wall,
+                                stats=stats)
+                )
         return results
 
     # -- fleet reporting -----------------------------------------------------------

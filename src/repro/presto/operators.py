@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.cache_manager import LocalCacheManager
+from repro.obs.tracer import current_tracer
 from repro.presto.metadata_cache import MetadataCache
 from repro.presto.split import Split
 from repro.presto.runtime_stats import QueryRuntimeStats
@@ -98,9 +99,11 @@ class ScanFilterProjectOperator:
         columns = min(profile.columns_read, split.n_columns)
         for offset, length in self._chunk_ranges(split, profile, columns):
             self._read_range(split, offset, length, result, stats, bypass_cache)
-        result.cpu_time += (
+        filter_project = (
             result.bytes_scanned / (1024 * 1024)
         ) * FILTER_PROJECT_COST_PER_MB
+        result.cpu_time += filter_project
+        current_tracer().current().charge("compute", filter_project)
         if stats is not None:
             stats.input_wall += result.input_wall
             stats.compute_wall += result.cpu_time
@@ -120,6 +123,7 @@ class ScanFilterProjectOperator:
                 return
             self._metadata_cache.put(key, {"file_id": key, "parsed": True})
         result.cpu_time += METADATA_PARSE_COST
+        current_tracer().current().charge("compute", METADATA_PARSE_COST)
         if stats is not None:
             stats.metadata_parses += 1
 
@@ -156,10 +160,18 @@ class ScanFilterProjectOperator:
         stats: QueryRuntimeStats | None,
         bypass_cache: bool,
     ) -> None:
+        span = current_tracer().current()
         if self._cache is None or bypass_cache:
             read = self._source.read(split.file_id, offset, length)
             handled = len(read.data)
-            result.input_wall += read.latency + self._handling_cost(handled)
+            handling = self._handling_cost(handled)
+            backoff = getattr(self._source, "last_retry_backoff", 0.0)
+            wait = getattr(self._source, "last_queue_wait", 0.0)
+            span.charge("retry_backoff", backoff)
+            span.charge("queueing", wait)
+            span.charge("remote", read.latency - backoff - wait)
+            span.charge("compute", handling)
+            result.input_wall += read.latency + handling
             result.bytes_scanned += handled
             result.requests += 1
             if stats is not None:
@@ -169,7 +181,9 @@ class ScanFilterProjectOperator:
             split.file_id, offset, length, self._source, scope=split.scope
         )
         handled = len(read.data)
-        result.input_wall += read.latency + self._handling_cost(handled)
+        handling = self._handling_cost(handled)
+        span.charge("compute", handling)
+        result.input_wall += read.latency + handling
         result.bytes_scanned += handled
         result.requests += 1
         if stats is not None:

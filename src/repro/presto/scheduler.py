@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs.tracer import current_tracer
 from repro.presto.hashring import ConsistentHashRing
 from repro.presto.split import Split
 from repro.resilience.health import NodeHealthTracker
@@ -94,10 +95,12 @@ class SoftAffinityScheduler:
                 continue
             if candidate in load and load[candidate] < self.max_splits_per_node:
                 self.affinity_assignments += 1
-                return SchedulerDecision(
+                decision = SchedulerDecision(
                     worker=candidate, affinity=True, bypass_cache=False,
                     probes=probes,
                 )
+                self._trace(split, decision)
+                return decision
         # Temporary inability to maintain soft-affinity: least-burdened
         # worker, cache bypassed (Section 6.1.2's final fallback).
         healthy = (
@@ -106,8 +109,24 @@ class SoftAffinityScheduler:
         )
         least = min(healthy, key=lambda w: (load[w], w))
         self.fallback_assignments += 1
-        return SchedulerDecision(
+        decision = SchedulerDecision(
             worker=least, affinity=False, bypass_cache=True, probes=probes + 1
+        )
+        self._trace(split, decision)
+        return decision
+
+    @staticmethod
+    def _trace(split: Split, decision: SchedulerDecision) -> None:
+        tracer = current_tracer()
+        if not tracer.enabled:
+            return
+        tracer.current().event(
+            "schedule",
+            file_id=split.file_id,
+            worker=decision.worker,
+            affinity=decision.affinity,
+            bypass_cache=decision.bypass_cache,
+            probes=decision.probes,
         )
 
 

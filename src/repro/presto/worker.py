@@ -13,6 +13,7 @@ from repro.presto.operators import (
     ScanFilterProjectOperator,
     ScanProfile,
 )
+from repro.obs.tracer import current_tracer
 from repro.presto.split import Split
 from repro.presto.runtime_stats import QueryRuntimeStats
 from repro.sim.clock import Clock, SimClock
@@ -95,13 +96,20 @@ class Worker:
         """Run one split scan; accumulates this worker's busy time."""
         if not self.online:
             raise ConnectionError(f"presto worker {self.name} is offline")
-        result = self._operator.execute(
-            split, profile, stats, bypass_cache=bypass_cache
-        )
-        elapsed = result.input_wall + result.cpu_time
-        self.busy_seconds += elapsed
-        self.splits_executed += 1
-        return result
+        tracer = current_tracer()
+        with tracer.span(
+            "execute_split", actor=self.name,
+            file_id=split.file_id, table=split.qualified_table,
+        ) as span:
+            result = self._operator.execute(
+                split, profile, stats, bypass_cache=bypass_cache
+            )
+            elapsed = result.input_wall + result.cpu_time
+            span.annotate("input_wall", result.input_wall)
+            span.annotate("cpu_time", result.cpu_time)
+            self.busy_seconds += elapsed
+            self.splits_executed += 1
+            return result
 
     @property
     def cache_hit_ratio(self) -> float:

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from repro.core.metrics import MetricsRegistry
 from repro.errors import RemoteReadError, RetriesExhaustedError
+from repro.obs.tracer import current_tracer
 from repro.resilience.breaker import CircuitBreaker
 from repro.resilience.hedge import HedgePolicy
 from repro.resilience.policy import RetryPolicy
@@ -53,14 +54,24 @@ class ResilientDataSource:
         self.hedge = hedge
         self.metrics = metrics if metrics is not None else MetricsRegistry("resilient-source")
         self.operation = operation
+        # side channels for latency attribution (read by the cache manager
+        # after each call): backoff folded into the returned latency, and
+        # queueing/throttle wait reported by the inner source
+        self.last_retry_backoff = 0.0
+        self.last_queue_wait = 0.0
 
     def file_length(self, file_id: str) -> int:
         return self.inner.file_length(file_id)
 
     def read(self, file_id: str, offset: int, length: int) -> ReadResult:
         policy = self.policy
+        span = current_tracer().current()
         breaker_open = self.breaker is not None and not self.breaker.allow()
+        if breaker_open:
+            span.event("breaker_open", operation=self.operation)
         extra_latency = 0.0
+        self.last_retry_backoff = 0.0
+        self.last_queue_wait = 0.0
         last_exc: Exception | None = None
         for attempt in range(1, policy.max_attempts + 1):
             try:
@@ -73,6 +84,9 @@ class ResilientDataSource:
                 if attempt < policy.max_attempts:
                     self.metrics.counter("retries").inc()
                     extra_latency += policy.backoff(attempt, self.rng)
+                    span.event(
+                        "retry", attempt=attempt, error=type(exc).__name__
+                    )
                 continue
             if (
                 policy.attempt_timeout is not None
@@ -88,20 +102,37 @@ class ResilientDataSource:
                 extra_latency += policy.attempt_timeout + policy.backoff(
                     attempt, self.rng
                 )
+                span.event("retry", attempt=attempt, error="AttemptDeadlineExceeded")
                 continue
             if self.breaker is not None:
                 self.breaker.record_success()
             latency = result.latency
             if self.hedge is not None:
-                latency, __, __ = self.hedge.apply(
+                latency, hedged, hedge_won = self.hedge.apply(
                     latency,
-                    lambda: self.inner.read(file_id, offset, length).latency,
+                    lambda: self._hedged_backup(file_id, offset, length),
                 )
+                if hedged:
+                    span.event("hedge", won=hedge_won)
             if attempt > 1 or breaker_open:
                 self.metrics.counter("degraded_serves").inc()
+            self.last_retry_backoff = extra_latency
+            self.last_queue_wait = getattr(self.inner, "last_queue_wait", 0.0)
             return ReadResult(data=result.data, latency=extra_latency + latency)
         self.metrics.counter("retry_exhausted").inc()
+        span.event("retries_exhausted", attempts=policy.max_attempts)
         raise RetriesExhaustedError(
             f"{self.operation} of {file_id!r} failed after "
             f"{policy.max_attempts} attempts"
         ) from last_exc
+
+    def _hedged_backup(self, file_id: str, offset: int, length: int) -> float:
+        """Backup attempt for the hedge policy, traced as speculative work.
+
+        The ``hedge_attempt`` attr excludes the subtree from latency
+        attribution -- only ``min(primary, threshold + backup)`` lands on
+        the serving path.
+        """
+        tracer = current_tracer()
+        with tracer.span("hedge_attempt", actor=self.operation, hedge_attempt=True):
+            return self.inner.read(file_id, offset, length).latency

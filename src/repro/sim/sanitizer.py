@@ -15,6 +15,11 @@ Two detectors:
   timestamp without a version bump between them, because the cache keys
   snapshots by ``(id, generation)`` and an un-bumped concurrent write
   makes two different byte contents share one cache identity.
+- :class:`SpanLeakDetector` -- a span still open when the harness
+  finishes means some code path skipped its ``finish()`` (an exception
+  escaped outside the ``with``, or a hand-managed span lost its
+  ``finally``); attribution and critical-path analysis over such a trace
+  silently undercount, so a leak is a finding, not a warning.
 
 Both integrate with pytest via the fixtures in the repo-root
 ``conftest.py``; tests opt in with ``@pytest.mark.determinism``, which CI
@@ -148,6 +153,13 @@ class DeterminismHarness:
     its randomness and time from its own seed/clock -- that is exactly the
     property under test.
 
+    With a ``tracer_factory``, each run executes under a freshly built
+    tracer (installed via :func:`repro.obs.tracer.installed_tracer`) and
+    the harness additionally demands that no span leaked open at run end
+    (:class:`SpanLeakViolation` otherwise) -- a scenario whose span tree
+    is incomplete cannot be attributed, so the leak check runs *before*
+    the trail diff.
+
     >>> def scenario(trace):
     ...     for step in range(3):
     ...         trace.record("tick", float(step), "loop")
@@ -156,14 +168,33 @@ class DeterminismHarness:
     True
     """
 
-    def __init__(self, scenario: Callable[[EventTrace], Any]) -> None:
+    def __init__(
+        self,
+        scenario: Callable[[EventTrace], Any],
+        *,
+        tracer_factory: Callable[[], Any] | None = None,
+    ) -> None:
         self.scenario = scenario
+        self.tracer_factory = tracer_factory
+
+    def _run_once(self, trace: EventTrace) -> Any:
+        if self.tracer_factory is None:
+            return self.scenario(trace)
+        # lazy import: the sanitizer must stay importable without obs
+        from repro.obs.tracer import installed_tracer
+
+        tracer = self.tracer_factory()
+        with installed_tracer(tracer):
+            result = self.scenario(trace)
+        SpanLeakDetector(tracer).assert_clean()
+        return result
 
     def run_twice(self) -> DeterminismReport:
-        """Execute both runs and diff the trails (never raises)."""
+        """Execute both runs and diff the trails (leaks raise; divergence
+        does not -- it is reported)."""
         first_trace, second_trace = EventTrace(), EventTrace()
-        first_result = self.scenario(first_trace)
-        second_result = self.scenario(second_trace)
+        first_result = self._run_once(first_trace)
+        second_result = self._run_once(second_trace)
         divergence = self._first_divergence(first_trace, second_trace)
         report = DeterminismReport(
             hash_first=first_trace.rolling_hash(),
@@ -240,6 +271,69 @@ class WriteConflictViolation(AssertionError):
         super().__init__(
             f"{len(conflicts)} generation-stamp violation(s):\n{lines}"
         )
+
+
+@dataclass(frozen=True, slots=True)
+class SpanLeak:
+    """One span that was still open at the end of a run."""
+
+    trace_id: str
+    span_id: str
+    name: str
+    actor: str
+    start: float
+
+    def describe(self) -> str:
+        actor = f" @{self.actor}" if self.actor else ""
+        return (
+            f"span {self.name!r}{actor} (trace={self.trace_id} "
+            f"id={self.span_id}) opened at t={self.start} never finished"
+        )
+
+
+class SpanLeakViolation(AssertionError):
+    """Raised by :meth:`SpanLeakDetector.assert_clean`."""
+
+    def __init__(self, leaks: list[SpanLeak]) -> None:
+        self.leaks = leaks
+        lines = "\n".join(f"  {leak.describe()}" for leak in leaks)
+        super().__init__(f"{len(leaks)} span(s) leaked open:\n{lines}")
+
+
+class SpanLeakDetector:
+    """Flags spans left open when a scenario finishes.
+
+    Duck-typed over anything exposing ``open_spans()`` (the tracer
+    protocol from :mod:`repro.obs.tracer`); the no-op tracer reports no
+    open spans, so the detector is safe to run unconditionally.
+    """
+
+    def __init__(self, tracer: Any) -> None:
+        self._tracer = tracer
+
+    def leaks(self) -> list[SpanLeak]:
+        found = []
+        for span in self._tracer.open_spans():
+            found.append(
+                SpanLeak(
+                    trace_id=span.trace_id,
+                    span_id=span.span_id,
+                    name=span.name,
+                    actor=span.actor,
+                    start=span.start,
+                )
+            )
+        return found
+
+    @property
+    def clean(self) -> bool:
+        return not self.leaks()
+
+    def assert_clean(self) -> None:
+        """Raise :class:`SpanLeakViolation` if any span is still open."""
+        leaks = self.leaks()
+        if leaks:
+            raise SpanLeakViolation(leaks)
 
 
 class WriteWriteConflictDetector:

@@ -140,6 +140,9 @@ class StorageDevice:
         self.stats = DeviceStats()
         self._keep_records = keep_records
         self._queueing = queueing
+        # queue wait of the most recent request, for latency attribution
+        # (tracing splits a device latency into queueing vs. service time)
+        self.last_wait = 0.0
         # min-heap of per-channel next-free timestamps
         self._channel_free: list[float] = [0.0] * profile.channels
 
@@ -161,6 +164,7 @@ class StorageDevice:
             # Presto simulator measures per-request latency analytically).
             start = arrival
         wait = start - arrival
+        self.last_wait = wait
 
         stats = self.stats
         if is_read:

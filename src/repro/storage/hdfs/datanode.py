@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import BlockNotFoundError, DataNodeOfflineError, StaleReadError
+from repro.obs.tracer import current_tracer
 from repro.storage.hdfs.block import Block, BlockId
 from repro.storage.device import DeviceProfile, StorageDevice
 from repro.sim.clock import Clock, SimClock
@@ -104,7 +105,12 @@ class DataNode:
         if length is None:
             length = block.length - offset
         data = block.data[offset : offset + length]
-        latency = self.device.read(len(data))
+        tracer = current_tracer()
+        with tracer.span("hdd_read", actor=self.name) as span:
+            latency = self.device.read(len(data))
+            wait = self.device.last_wait
+            span.charge("queueing", wait)
+            span.charge("remote", latency - wait)
         return BlockReadResult(data=data, latency=latency)
 
     # -- mutations ------------------------------------------------------------------

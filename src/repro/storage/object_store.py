@@ -23,6 +23,7 @@ from repro.errors import (
     RemoteCorruptionError,
     RemoteReadError,
 )
+from repro.obs.tracer import current_tracer
 from repro.sim.clock import Clock, SimClock
 
 
@@ -77,6 +78,9 @@ class ObjectStore:
         self.request_count = 0
         self.bytes_served = 0
         self.throttled_requests = 0
+        # throttle wait folded into the last request's latency, exposed so
+        # tracing can attribute it to the queueing bucket
+        self.last_throttle_wait = 0.0
         # chaos injection: a RemoteFaultState (duck-typed to avoid importing
         # the resilience package) plus the rng stream drawing its dice, both
         # armed by ChaosInjector.set_remote_faults
@@ -147,11 +151,15 @@ class ObjectStore:
             float(rng.random()) < state.delay_probability
         ):
             self.chaos_delays += 1
+            current_tracer().current().event(
+                "remote_brownout_delay", seconds=state.delay_seconds
+            )
             return latency + state.delay_seconds
         return latency
 
     def _request_latency(self, size: int) -> float:
         latency = self.profile.base_latency + size / self.profile.bandwidth
+        self.last_throttle_wait = 0.0
         limit = self.profile.max_requests_per_second
         if limit is None:
             return latency
@@ -168,4 +176,6 @@ class ObjectStore:
         deficit = 1.0 - self._tokens
         self._tokens = 0.0
         self.throttled_requests += 1
+        self.last_throttle_wait = deficit / limit
+        current_tracer().current().event("throttled", wait=self.last_throttle_wait)
         return latency + deficit / limit

@@ -148,6 +148,9 @@ class ObjectStoreDataSource:
 
     def __init__(self, store: ObjectStore) -> None:
         self._store = store
+        # queueing share (throttle wait) of the last read's latency,
+        # forwarded from the store for latency attribution
+        self.last_queue_wait = 0.0
 
     @property
     def store(self) -> ObjectStore:
@@ -158,4 +161,5 @@ class ObjectStoreDataSource:
 
     def read(self, file_id: str, offset: int, length: int) -> ReadResult:
         data, latency = self._store.get_range(file_id, offset, length)
+        self.last_queue_wait = self._store.last_throttle_wait
         return ReadResult(data=data, latency=latency)

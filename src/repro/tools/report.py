@@ -32,6 +32,7 @@ SECTION_ORDER = [
     ("ablation_admission", "Ablation — admission policy (§5.1)"),
     ("ablation_metadata_cache", "Ablation — metadata cache (§6.1.1/§7)"),
     ("chaos_soak", "Chaos soak — resilience under fault injection"),
+    ("trace_attribution", "Trace attribution — per-query latency breakdown"),
 ]
 
 

@@ -72,6 +72,27 @@ class TestTimeSeries:
     def test_empty_series(self):
         assert bucket_series([]) == {0: 0.0}
 
+    def test_empty_series_with_horizon(self):
+        series = bucket_series([], horizon=120.0)
+        assert series == {0: 0.0, 1: 0.0, 2: 0.0}
+
+    def test_single_sample(self):
+        assert bucket_series([45.0]) == {0: 1.0}
+
+    def test_single_sample_on_boundary(self):
+        # a lone sample exactly on a bucket boundary defines the last
+        # bucket and lands in it -- not dropped, no phantom key
+        series = bucket_series([60.0])
+        assert series == {0: 0.0, 1: 1.0}
+
+    def test_final_boundary_sample_clamped(self):
+        # horizon=120 -> dense buckets {0,1,2}; a sample at exactly t=120
+        # (and one beyond the horizon) must fold into the final bucket
+        # instead of spawning sparse phantom buckets
+        series = bucket_series([0.0, 120.0, 500.0], horizon=120.0)
+        assert set(series) == {0, 1, 2}
+        assert series == {0: 1.0, 1: 0.0, 2: 2.0}
+
 
 class TestReport:
     def test_render(self):

@@ -9,6 +9,7 @@ from repro.core.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.sim.rng import RngStream
 
 
 class TestPrimitives:
@@ -58,6 +59,128 @@ class TestPrimitives:
         a.merge(b)
         assert a.count == 2
         assert a.total == 4.0
+
+
+class TestHistogramReservoir:
+    def test_exact_below_cap(self):
+        histogram = Histogram(reservoir_cap=100)
+        for v in range(1, 51):
+            histogram.observe(float(v))
+        assert not histogram.sampled
+        assert histogram.values() == [float(v) for v in range(1, 51)]
+
+    def test_bounded_past_cap(self):
+        histogram = Histogram(reservoir_cap=64)
+        for v in range(1000):
+            histogram.observe(float(v))
+        assert len(histogram.values()) == 64
+        assert histogram.sampled
+
+    def test_exact_stats_survive_sampling(self):
+        histogram = Histogram(reservoir_cap=64)
+        n = 1000
+        for v in range(n):
+            histogram.observe(float(v))
+        assert histogram.count == n
+        assert histogram.total == pytest.approx(sum(range(n)))
+        assert histogram.mean == pytest.approx((n - 1) / 2)
+
+    def test_percentile_tracks_distribution_past_cap(self):
+        histogram = Histogram(reservoir_cap=512)
+        for v in range(10_000):
+            histogram.observe(float(v))
+        # a uniform reservoir of a uniform stream: the median estimate
+        # stays within a loose band of the true median
+        assert 2_500 < histogram.percentile(50) < 7_500
+
+    def test_reservoir_deterministic(self):
+        def build():
+            histogram = Histogram(
+                reservoir_cap=32, rng=RngStream(7, "metrics/test")
+            )
+            for v in range(500):
+                histogram.observe(float(v))
+            return histogram.values()
+
+        assert build() == build()
+
+    def test_rejects_nonpositive_cap(self):
+        with pytest.raises(ValueError):
+            Histogram(reservoir_cap=0)
+
+    def test_merge_exact_within_cap(self):
+        a = Histogram(reservoir_cap=100)
+        b = Histogram(reservoir_cap=100)
+        for v in (1.0, 2.0):
+            a.observe(v)
+        for v in (3.0, 4.0, 5.0):
+            b.observe(v)
+        a.merge(b)
+        assert a.count == 5
+        assert a.total == 15.0
+        assert sorted(a.values()) == [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert not a.sampled
+
+    def test_merge_downsamples_past_cap(self):
+        a = Histogram(reservoir_cap=50, rng=RngStream(1, "a"))
+        b = Histogram(reservoir_cap=50, rng=RngStream(1, "b"))
+        for v in range(40):
+            a.observe(float(v))
+        for v in range(40, 80):
+            b.observe(float(v))
+        a.merge(b)
+        assert a.count == 80
+        assert a.total == pytest.approx(sum(range(80)))
+        assert len(a.values()) == 50
+        assert a.sampled
+        # retained values come from the combined population
+        assert set(a.values()) <= {float(v) for v in range(80)}
+
+    def test_merge_deterministic(self):
+        def build():
+            a = Histogram(reservoir_cap=20, rng=RngStream(3, "merge"))
+            b = Histogram(reservoir_cap=20, rng=RngStream(3, "other"))
+            for v in range(30):
+                a.observe(float(v))
+                b.observe(float(v + 100))
+            a.merge(b)
+            return a.values()
+
+        assert build() == build()
+
+    def test_merge_of_sampled_histograms_keeps_exact_count(self):
+        a = Histogram(reservoir_cap=16, rng=RngStream(5, "a"))
+        b = Histogram(reservoir_cap=16, rng=RngStream(5, "b"))
+        for v in range(200):
+            a.observe(float(v))
+            b.observe(float(v))
+        a.merge(b)
+        assert a.count == 400
+        assert len(a.values()) == 16
+
+    def test_exemplars_ring(self):
+        histogram = Histogram()
+        for i in range(20):
+            histogram.observe(float(i), exemplar=f"span-{i:02d}")
+        exemplars = histogram.exemplars()
+        assert len(exemplars) == Histogram.EXEMPLAR_SLOTS
+        refs = {ref for _, ref in exemplars}
+        # the ring retains the most recent observations
+        assert refs == {f"span-{i:02d}" for i in range(12, 20)}
+
+    def test_exemplar_optional(self):
+        histogram = Histogram()
+        histogram.observe(1.0)
+        histogram.observe(2.0, exemplar="s1")
+        assert histogram.exemplars() == [(2.0, "s1")]
+
+    def test_registry_histogram_seeded(self):
+        registry = MetricsRegistry("node-3")
+        histogram = registry.histogram("latency")
+        for v in range(100_000):
+            histogram.observe(float(v % 97))
+        assert histogram.count == 100_000
+        assert len(histogram.values()) == Histogram.DEFAULT_RESERVOIR
 
 
 class TestRegistry:

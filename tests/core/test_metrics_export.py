@@ -1,6 +1,7 @@
 """Tests for the metrics exporters."""
 
 import json
+import re
 
 from repro.core.metrics import AggregatedMetrics, MetricsRegistry
 from repro.core.metrics_export import (
@@ -71,6 +72,114 @@ class TestFleetExport:
         assert doc["errors"]["put"]["OSError"] == 3
         parsed = json.loads(fleet_to_json(fleet))
         assert parsed["nodes"] == 3
+
+
+def parse_prometheus_text(text):
+    """Parse exposition lines back into ``{(name, labels): value}``.
+
+    A deliberately independent re-implementation of the format so the
+    round-trip test catches encoder bugs rather than mirroring them.
+    """
+    line_re = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)\{([^{}]*)\} (\S+)$")
+    label_re = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+    def unescape(value):
+        return (
+            value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+        )
+
+    samples = {}
+    for line in text.splitlines():
+        if not line:
+            continue
+        match = line_re.match(line)
+        assert match is not None, f"unparseable exposition line: {line!r}"
+        name, label_blob, value = match.groups()
+        labels = tuple(
+            (k, unescape(v)) for k, v in label_re.findall(label_blob)
+        )
+        key = (name, labels)
+        assert key not in samples, f"duplicate sample: {key}"
+        samples[key] = float(value)
+    return samples
+
+
+class TestPrometheusRoundTrip:
+    def test_counters_and_gauges_parse_back(self):
+        registry = make_registry()
+        samples = parse_prometheus_text(to_prometheus_text(registry))
+        instance = (("instance", "worker-0"),)
+        for name, value in registry.counters().items():
+            assert samples[(f"cache_{name}_total", instance)] == value
+        assert samples[("cache_bytes_cached", instance)] == 1024.0
+        assert samples[("cache_hit_ratio", instance)] == 0.7
+
+    def test_histogram_summary_parses_back(self):
+        registry = make_registry()
+        samples = parse_prometheus_text(to_prometheus_text(registry))
+        instance = (("instance", "worker-0"),)
+        histogram = registry.histogram("latency")
+        assert samples[("cache_latency_count", instance)] == histogram.count
+        assert samples[("cache_latency_sum", instance)] == histogram.total
+        quantile_key = (
+            "cache_latency",
+            (("instance", "worker-0"), ("quantile", "0.5")),
+        )
+        assert samples[quantile_key] == histogram.percentile(50)
+
+    def test_error_breakdown_parses_back(self):
+        registry = make_registry()
+        samples = parse_prometheus_text(to_prometheus_text(registry))
+        key = (
+            "cache_errors_total",
+            (
+                ("instance", "worker-0"),
+                ("operation", "put"),
+                ("type", "OSError"),
+            ),
+        )
+        assert samples[key] == 1.0
+
+    def test_escaped_labels_round_trip(self):
+        raw_name = 'node"1\\odd\nname'
+        registry = MetricsRegistry(raw_name)
+        registry.counter("get_hits").inc(5)
+        samples = parse_prometheus_text(to_prometheus_text(registry))
+        # the parser's unescape must recover the original instance name
+        key = ("cache_get_hits_total", (("instance", raw_name),))
+        assert samples[key] == 5.0
+
+
+class TestJsonRoundTrip:
+    def test_matches_registry_snapshot(self):
+        registry = make_registry()
+        doc = json.loads(to_json(registry))
+        assert doc["name"] == registry.name
+        assert doc["counters"] == registry.counters()
+        assert doc["gauges"] == {
+            name: g.value for name, g in registry._gauges.items()
+        }
+        assert doc["errors"] == registry.error_breakdown()
+        assert doc["hit_ratio"] == registry.hit_ratio
+        latency = registry.histogram("latency")
+        assert doc["histograms"]["latency"]["count"] == latency.count
+        assert doc["histograms"]["latency"]["total"] == latency.total
+        assert doc["histograms"]["latency"]["mean"] == latency.mean
+        assert doc["histograms"]["latency"]["sampled"] is False
+
+    def test_exemplars_exported(self):
+        registry = MetricsRegistry("worker-0")
+        registry.histogram("latency").observe(0.25, exemplar="00c0ffee")
+        doc = to_json_dict(registry)
+        assert doc["histograms"]["latency"]["exemplars"] == [
+            {"value": 0.25, "span_id": "00c0ffee"}
+        ]
+
+    def test_escaped_label_names_survive_json(self):
+        raw_name = 'node"1\\odd\nname'
+        registry = MetricsRegistry(raw_name)
+        doc = json.loads(to_json(registry))
+        assert doc["name"] == raw_name
 
 
 class TestLabelEscaping:

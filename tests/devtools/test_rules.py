@@ -14,6 +14,7 @@ from repro.devtools.rules import (
     SeededRngRule,
     SetOrderRule,
     SimPurityRule,
+    SpanLifecycleRule,
 )
 
 PATH = "src/repro/core/example.py"
@@ -199,3 +200,61 @@ class TestLOG001NoPrint:
     def test_docstring_examples_clean(self):
         code = '"""Docs.\n\n>>> print(table.render())\n"""\nx = 1\n'
         assert run_rule(NoPrintRule(), code) == []
+
+class TestTRC001SpanLifecycle:
+    def test_with_statement_clean(self):
+        code = (
+            "def f(tracer):\n"
+            "    with tracer.span('read', actor='w0') as span:\n"
+            "        span.charge('remote', 0.1)\n"
+        )
+        assert run_rule(SpanLifecycleRule(), code) == []
+
+    def test_try_finally_clean(self):
+        code = (
+            "def f(tracer):\n"
+            "    span = tracer.span('read')\n"
+            "    try:\n"
+            "        work()\n"
+            "    finally:\n"
+            "        span.finish()\n"
+        )
+        assert run_rule(SpanLifecycleRule(), code) == []
+
+    def test_end_span_alias_clean(self):
+        code = (
+            "def f(tracer):\n"
+            "    span = tracer.span('read')\n"
+            "    try:\n"
+            "        work()\n"
+            "    finally:\n"
+            "        span.end_span()\n"
+        )
+        assert run_rule(SpanLifecycleRule(), code) == []
+
+    def test_flags_bare_assignment(self):
+        code = (
+            "def f(tracer):\n"
+            "    span = tracer.span('read')\n"
+            "    work()\n"
+            "    span.finish()\n"   # not inside a finally: leaks on raise
+        )
+        (finding,) = run_rule(SpanLifecycleRule(), code)
+        assert finding.rule_id == "TRC001"
+        assert "guaranteed close" in finding.message
+
+    def test_flags_bare_expression(self):
+        code = "def f(tracer):\n    tracer.span('read')\n"
+        assert run_rule(SpanLifecycleRule(), code)
+
+    def test_flags_span_passed_inline(self):
+        code = "def f(tracer):\n    consume(tracer.span('read'))\n"
+        assert run_rule(SpanLifecycleRule(), code)
+
+    def test_flags_start_span_opener(self):
+        code = "def f(tracer):\n    tracer.start_span('read')\n"
+        assert run_rule(SpanLifecycleRule(), code)
+
+    def test_unrelated_methods_clean(self):
+        code = "def f(x):\n    return x.spanner() + x.wingspan\n"
+        assert run_rule(SpanLifecycleRule(), code) == []

@@ -17,6 +17,8 @@ from repro.sim.sanitizer import (
     DeterminismViolation,
     EventTrace,
     SimEvent,
+    SpanLeakDetector,
+    SpanLeakViolation,
     WriteConflictViolation,
     WriteWriteConflictDetector,
 )
@@ -242,3 +244,70 @@ class TestSanitizerFixtures:
                 timestamp=clock.now(), generation=generation,
             )
         write_conflict_detector.assert_clean()
+
+@pytest.mark.determinism
+class TestSpanLeakDetector:
+    def _tracer(self):
+        from repro.obs.buffer import SpanBuffer
+        from repro.obs.tracer import SimTracer
+
+        return SimTracer(
+            SimClock(), RngStream(11, "leak-test"), buffer=SpanBuffer()
+        )
+
+    def test_clean_when_all_spans_closed(self):
+        tracer = self._tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        detector = SpanLeakDetector(tracer)
+        assert detector.clean
+        detector.assert_clean()
+
+    def test_flags_open_span(self):
+        tracer = self._tracer()
+        span = tracer.span("leaky", actor="w0")
+        detector = SpanLeakDetector(tracer)
+        assert not detector.clean
+        (leak,) = detector.leaks()
+        assert leak.name == "leaky"
+        assert leak.actor == "w0"
+        with pytest.raises(SpanLeakViolation) as excinfo:
+            detector.assert_clean()
+        assert "leaky" in str(excinfo.value)
+        span.finish()
+        assert detector.clean
+
+    def test_noop_tracer_always_clean(self):
+        from repro.obs.tracer import NOOP_TRACER
+
+        assert SpanLeakDetector(NOOP_TRACER).clean
+
+    def test_harness_runs_under_tracer_and_checks_leaks(self):
+        from repro.obs.tracer import current_tracer
+
+        def traced_scenario(trace):
+            tracer = current_tracer()
+            assert tracer.enabled
+            with tracer.span("work") as span:
+                span.charge("compute", 0.5)
+                trace.record("work", 0.0, "scenario")
+            return "ok"
+
+        harness = DeterminismHarness(
+            traced_scenario, tracer_factory=self._tracer
+        )
+        assert harness.check().deterministic
+
+    def test_harness_raises_on_leaked_span(self):
+        from repro.obs.tracer import current_tracer
+
+        def leaky_scenario(trace):
+            current_tracer().span("never-closed")
+            trace.record("work", 0.0, "scenario")
+
+        harness = DeterminismHarness(
+            leaky_scenario, tracer_factory=self._tracer
+        )
+        with pytest.raises(SpanLeakViolation):
+            harness.run_twice()

@@ -1,0 +1,103 @@
+"""Tests for the trace_viz CLI: convert, report, demo."""
+
+import json
+
+import pytest
+
+from repro.obs import tree_signature
+from repro.tools.trace_viz import (
+    build_parser,
+    load_spans,
+    main,
+    render_report,
+    run_demo_scenario,
+)
+
+
+class TestDemoScenario:
+    def test_demo_is_deterministic(self):
+        first_tracer, first_summary = run_demo_scenario(seed=7, n_requests=24)
+        second_tracer, second_summary = run_demo_scenario(seed=7, n_requests=24)
+        assert first_summary == second_summary
+        assert tree_signature(first_tracer.buffer.spans()) == tree_signature(
+            second_tracer.buffer.spans()
+        )
+
+    def test_demo_attribution_reconciles(self):
+        from repro.obs import attribute_buffer
+
+        tracer, summary = run_demo_scenario(seed=7, n_requests=24)
+        reports = attribute_buffer(tracer.buffer)
+        assert len(reports) == 24
+        assert all(r.within(0.01) for r in reports)
+        total = sum(r.wall for r in reports)
+        assert total == pytest.approx(summary["latency_sum"], rel=1e-6)
+
+
+class TestDemoCommand:
+    def test_writes_all_artifacts(self, tmp_path, capsys):
+        out = tmp_path / "artifacts"
+        code = main(["demo", "--out", str(out), "--requests", "16"])
+        assert code == 0
+        assert (out / "spans.jsonl").exists()
+        assert (out / "trace.json").exists()
+        assert (out / "attribution.txt").exists()
+        stdout = capsys.readouterr().out
+        assert "16 requests" in stdout
+        assert "coverage" in stdout
+
+        chrome = json.loads((out / "trace.json").read_text())
+        for event in chrome["traceEvents"]:
+            assert event["ph"] in {"X", "M"}
+            assert "ts" in event and "pid" in event and "tid" in event
+            if event["ph"] == "X":
+                assert event["dur"] >= 0.0
+
+        report = (out / "attribution.txt").read_text()
+        assert "traces=16" in report
+        assert "critical path" in report
+
+
+class TestConvertCommand:
+    def test_jsonl_to_chrome(self, tmp_path, capsys):
+        out = tmp_path / "artifacts"
+        main(["demo", "--out", str(out), "--requests", "8"])
+        capsys.readouterr()
+
+        converted = tmp_path / "converted.json"
+        code = main(
+            ["convert", str(out / "spans.jsonl"), "--out", str(converted)]
+        )
+        assert code == 0
+        assert "8 trace(s)" in capsys.readouterr().out
+        # converting the JSONL reproduces the demo's own Chrome export
+        direct = json.loads((out / "trace.json").read_text())
+        assert json.loads(converted.read_text()) == direct
+
+
+class TestReportCommand:
+    def test_report_round_trips_jsonl(self, tmp_path, capsys):
+        out = tmp_path / "artifacts"
+        main(["demo", "--out", str(out), "--requests", "8"])
+        capsys.readouterr()
+
+        code = main(["report", str(out / "spans.jsonl"), "--top", "2"])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "traces=8" in stdout
+        assert "slowest 2 trace(s):" in stdout
+        # the offline report over rehydrated spans equals the live one
+        spans = load_spans(out / "spans.jsonl")
+        assert render_report(spans, top=2) + "\n" == stdout
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_empty_spans_report(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["report", str(empty)]) == 0
+        assert "traces=0" in capsys.readouterr().out
