@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from repro.core.admission import BucketTimeRateLimit
 from repro.hdfs_cache import CachedDataNode
 from repro.sim.clock import SimClock
+from repro.sim.kernel import Kernel, SimMode, Timeout
 from repro.sim.rng import RngStream
 from repro.storage.device import DeviceProfile, StorageDevice
 from repro.storage.hdfs import Block, BlockId, DataNode
@@ -46,14 +47,41 @@ class DataNodeSetup:
     clock: SimClock
     datanode: DataNode
     cached: CachedDataNode
+    kernel: Kernel | None = None
+
+
+@dataclass(slots=True)
+class ReplayStats:
+    """What one trace replay observed (for mode-equivalence checks)."""
+
+    latencies: list[float]
+    cache_hits: int = 0
+
+    @property
+    def reads(self) -> int:
+        return len(self.latencies)
+
+    @property
+    def mean_latency(self) -> float:
+        return sum(self.latencies) / len(self.latencies) if self.latencies else 0.0
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.cache_hits / self.reads if self.reads else 0.0
 
 
 def build_datanode(
     *, cache_capacity_bytes: int = 8 * MIB,
     admission_threshold: int = 3,
     seed: int = 2024,
+    mode: SimMode = SimMode.ANALYTIC,
 ) -> DataNodeSetup:
-    """A DataNode pre-loaded with N_BLOCKS finalized blocks."""
+    """A DataNode pre-loaded with N_BLOCKS finalized blocks.
+
+    With ``mode=SimMode.KERNEL`` the node is bound to an event kernel:
+    replayed reads run as concurrent processes that queue at the HDD/SSD
+    for real, and blocked-process counts come from measured occupancy.
+    """
     clock = SimClock()
     device = StorageDevice(HDD, clock)
     datanode = DataNode("dn-bench", device=device, clock=clock)
@@ -72,7 +100,13 @@ def build_datanode(
             threshold=admission_threshold, window_buckets=10
         ),
     )
-    return DataNodeSetup(clock=clock, datanode=datanode, cached=cached)
+    kernel = None
+    if mode is SimMode.KERNEL:
+        kernel = Kernel(clock)
+        cached.attach_kernel(kernel)
+    return DataNodeSetup(
+        clock=clock, datanode=datanode, cached=cached, kernel=kernel
+    )
 
 
 def replay_trace(
@@ -85,7 +119,7 @@ def replay_trace(
     disable_cache_at: float | None = None,
     writes_per_second: float = 0.0,
     write_size: int = 2 * MIB,
-) -> None:
+) -> ReplayStats:
     """Replay a Zipfian read trace against the cached DataNode.
 
     ``disable_cache_at`` switches the cache off mid-replay (the Figure 14
@@ -94,6 +128,12 @@ def replay_trace(
     the cache cannot absorb, which is why production DataNodes keep a
     residual blocked-process floor even with the cache on.  Timestamps are
     relative to the replay start.
+
+    When the setup was built with ``mode=SimMode.KERNEL`` each access is a
+    kernel process spawned at its arrival time: reads (and background
+    writes) overlap, queue FIFO at the devices, and their latencies are
+    *measured* rather than summed.  The trace itself -- block ids,
+    arrival times, sizes, offsets -- is bit-identical across both modes.
     """
     rng = RngStream(seed, "hdfs-trace")
     n_reads = int(duration_seconds * reads_per_second)
@@ -108,6 +148,14 @@ def replay_trace(
         + [(float(t), "w", i) for i, t in enumerate(write_times)]
     )
     start = setup.clock.now()
+    stats = ReplayStats(latencies=[])
+    if setup.kernel is not None:
+        _replay_kernel(
+            setup, events, start, stats,
+            rng=rng, sizes=sizes, blocks=blocks,
+            disable_cache_at=disable_cache_at, write_size=write_size,
+        )
+        return stats
     disabled = False
     for t, kind, i in events:
         setup.clock.advance_to(start + t)
@@ -122,4 +170,68 @@ def replay_trace(
         offset = 0 if size >= BLOCK_SIZE else int(
             rng.rng.integers(0, BLOCK_SIZE - size)
         )
-        setup.cached.read_block(identity, offset, size)
+        result = setup.cached.read_block(identity, offset, size)
+        stats.latencies.append(result.latency)
+        if result.from_cache:
+            stats.cache_hits += 1
+    return stats
+
+
+def _replay_kernel(
+    setup: DataNodeSetup,
+    events: list[tuple[float, str, int]],
+    start: float,
+    stats: ReplayStats,
+    *,
+    rng: RngStream,
+    sizes,
+    blocks,
+    disable_cache_at: float | None,
+    write_size: int,
+) -> None:
+    """Drive the trace through the event kernel.
+
+    A single driver process walks the sorted events, sleeping between
+    arrivals and spawning one process per access -- so only in-flight
+    accesses hold memory, and offset draws happen in the same order as the
+    analytic loop (the traces match exactly).
+    """
+    kernel = setup.kernel
+
+    def read_proc(identity: BlockId, offset: int, size: int):
+        result = yield from setup.cached.read_block_proc(identity, offset, size)
+        stats.latencies.append(result.latency)
+        if result.from_cache:
+            stats.cache_hits += 1
+
+    def write_proc():
+        yield from setup.datanode.device.write_proc(write_size)
+
+    def driver():
+        disabled = False
+        for t, kind, i in events:
+            target = start + t
+            now = setup.clock.now()
+            if target > now:
+                yield Timeout(target - now)
+            if (
+                disable_cache_at is not None
+                and not disabled
+                and t >= disable_cache_at
+            ):
+                setup.cached.set_enabled(False)
+                disabled = True
+            if kind == "w":
+                kernel.spawn(write_proc(), name=f"ingest-write/{i}")
+                continue
+            size = int(min(max(sizes[i], 1024), BLOCK_SIZE))
+            identity = BlockId(int(blocks[i]), 1)
+            offset = 0 if size >= BLOCK_SIZE else int(
+                rng.rng.integers(0, BLOCK_SIZE - size)
+            )
+            kernel.spawn(
+                read_proc(identity, offset, size), name=f"block-read/{i}"
+            )
+
+    kernel.spawn(driver(), name="trace-driver")
+    kernel.run()

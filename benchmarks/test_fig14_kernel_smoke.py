@@ -1,0 +1,78 @@
+"""Figure 14 on the event kernel: blocked processes from *measured* occupancy.
+
+The analytic Figure 14 bench derives queue waits from channel bookkeeping;
+this smoke runs the same protocol (shortened) on the process-based kernel,
+where every block read is a live process queueing at the HDD's FIFO
+resource, and compares the two engines side by side.  The shape assertion
+is the paper's: disabling the cache makes blocked processes jump by
+multiples.  The comparison table is the CI artifact.
+"""
+
+import numpy as np
+import pytest
+
+from harness import emit_report, pct
+from hdfs_harness import MIB, build_datanode, replay_trace
+from repro.analysis import Table, reduction
+from repro.sim.kernel import SimMode
+
+DURATION = 10 * 60.0
+DISABLE_AT = 5 * 60.0
+READS_PER_SECOND = 80.0
+WRITES_PER_SECOND = 5.0
+
+
+def run_mode(mode: SimMode):
+    setup = build_datanode(
+        cache_capacity_bytes=12 * MIB, admission_threshold=3, mode=mode
+    )
+    replay_trace(
+        setup,
+        duration_seconds=DURATION,
+        reads_per_second=READS_PER_SECOND,
+        zipf_s=1.15,
+        disable_cache_at=DISABLE_AT,
+        writes_per_second=WRITES_PER_SECOND,
+    )
+    blocked = setup.datanode.device.blocked_per_bucket(60.0)
+    base = min(blocked) if blocked else 0
+    return [blocked.get(base + minute, 0) for minute in range(int(DURATION // 60))]
+
+
+@pytest.mark.benchmark(group="fig14")
+def test_fig14_kernel_smoke(benchmark):
+    kernel_series = benchmark.pedantic(
+        lambda: run_mode(SimMode.KERNEL), rounds=1, iterations=1
+    )
+    analytic_series = run_mode(SimMode.ANALYTIC)
+
+    disable_minute = int(DISABLE_AT // 60)
+    table = Table(
+        ["minute", "blocked (kernel)", "blocked (analytic)"],
+        title="Figure 14 smoke -- kernel (measured occupancy) vs analytic",
+    )
+    for minute in range(len(kernel_series)):
+        table.add_row([minute, kernel_series[minute], analytic_series[minute]])
+
+    def steady(series):
+        with_cache = series[1:disable_minute]
+        without_cache = series[disable_minute + 1:]
+        return float(np.mean(with_cache)), float(np.mean(without_cache))
+
+    kernel_with, kernel_without = steady(kernel_series)
+    analytic_with, analytic_without = steady(analytic_series)
+    kernel_cut = reduction(kernel_without, kernel_with)
+    table.add_row(["mean (cache on)", f"{kernel_with:.0f}", f"{analytic_with:.0f}"])
+    table.add_row(
+        ["mean (cache off)", f"{kernel_without:.0f}", f"{analytic_without:.0f}"]
+    )
+    table.add_row(["kernel reduction", pct(kernel_cut), ""])
+    emit_report("fig14_kernel_smoke", table.render())
+
+    # the paper's shape, from live queue depth: cached blocked processes
+    # are a small fraction of uncached
+    assert kernel_without > 4 * kernel_with
+    assert 0.5 <= kernel_cut <= 0.99
+    # both engines agree the cache removes most of the blocking
+    analytic_cut = reduction(analytic_without, analytic_with)
+    assert abs(kernel_cut - analytic_cut) < 0.2

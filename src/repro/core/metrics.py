@@ -43,18 +43,44 @@ class Counter:
 
 
 class Gauge:
-    """A value that can move in either direction (e.g. bytes cached)."""
+    """A value that can move in either direction (e.g. bytes cached).
 
-    __slots__ = ("value",)
+    ``set`` optionally carries an *exemplar* (the active trace span id)
+    linking the reading back to the trace that produced it; a small ring
+    of recent ``(value, reference)`` pairs is retained so a spike in, say,
+    ``device_queue_depth`` can be chased to the blocked read's trace.
+    """
+
+    EXEMPLAR_SLOTS = 8
+
+    __slots__ = ("value", "_exemplars", "_exemplar_seen")
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._exemplars: list[tuple[float, str]] = []
+        self._exemplar_seen = 0
 
-    def set(self, value: float) -> None:
+    def set(self, value: float, exemplar: str | None = None) -> None:
         self.value = value
+        if exemplar is not None:
+            self._record_exemplar(value, exemplar)
 
     def add(self, delta: float) -> None:
         self.value += delta
+
+    def _record_exemplar(self, value: float, reference: str) -> None:
+        if len(self._exemplars) < self.EXEMPLAR_SLOTS:
+            self._exemplars.append((value, reference))
+        else:
+            self._exemplars[self._exemplar_seen % self.EXEMPLAR_SLOTS] = (
+                value,
+                reference,
+            )
+        self._exemplar_seen += 1
+
+    def exemplars(self) -> list[tuple[float, str]]:
+        """Recent ``(value, reference)`` pairs, newest-slot ring order."""
+        return list(self._exemplars)
 
 
 class Histogram:

@@ -27,6 +27,7 @@ from repro.errors import (
     PageCorruptedError,
     PageNotFoundError,
 )
+from repro.sim.kernel import Timeout, defer_io, io_collection_active
 from repro.storage.device import StorageDevice
 
 
@@ -126,6 +127,16 @@ class SimulatedSsdPageStore:
         self.last_op_wait = self._device.last_wait
         if self.faults.hang_reads_seconds is not None:
             latency += self.faults.hang_reads_seconds
+            if io_collection_active() and self._device.kernel_attached:
+                # the device read itself was deferred; defer the injected
+                # stall too so the owning process experiences it
+                hang = self.faults.hang_reads_seconds
+
+                def _hang_op(hang: float = hang):
+                    yield Timeout(hang)
+                    return hang
+
+                defer_io(_hang_op)
         self.last_op_latency = latency
         if timeout is not None and latency > timeout:
             raise CacheReadTimeoutError(

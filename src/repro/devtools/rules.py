@@ -460,6 +460,52 @@ class SimPurityRule(Rule):
                     )
 
 
+class NoClockAdvanceRule(Rule):
+    """SIM002: domain code never advances the virtual clock itself.
+
+    ``clock.advance()`` / ``clock.advance_to()`` is the *driver's* verb:
+    harnesses and the event kernel move time, and everything else
+    experiences it.  A storage/presto/hdfs_cache component that advances
+    the clock mid-operation silently serializes concurrent requests (the
+    latency-summing bug the event kernel exists to remove) and makes its
+    timing unreproducible under the kernel engine, where ``yield
+    Timeout(...)`` is the only legitimate way to let time pass.
+    """
+
+    rule_id = "SIM002"
+    description = (
+        "no clock.advance()/advance_to() inside repro.presto, "
+        "repro.storage, or repro.hdfs_cache domain code"
+    )
+    include = (
+        "src/repro/presto",
+        "src/repro/storage",
+        "src/repro/hdfs_cache",
+    )
+    allow = ()
+
+    _ADVANCE_ATTRS = {"advance", "advance_to"}
+
+    def check(self, tree, path, lines):
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in self._ADVANCE_ATTRS
+            ):
+                yield self.finding(
+                    path, node,
+                    f"`.{func.attr}(...)` advances the virtual clock from "
+                    "inside domain code",
+                    "let the harness (or the event kernel via `yield "
+                    "Timeout(...)`) move time; domain code only reads "
+                    "clock.now()",
+                    lines,
+                )
+
+
 class NoMutableDefaultRule(Rule):
     """API001: no mutable default arguments.
 
@@ -613,6 +659,7 @@ def default_rules() -> list[Rule]:
         AccountedExceptRule(),
         MetricNameRule(),
         SimPurityRule(),
+        NoClockAdvanceRule(),
         NoMutableDefaultRule(),
         NoPrintRule(),
         SpanLifecycleRule(),
@@ -626,6 +673,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     AccountedExceptRule,
     MetricNameRule,
     SimPurityRule,
+    NoClockAdvanceRule,
     NoMutableDefaultRule,
     NoPrintRule,
     SpanLifecycleRule,

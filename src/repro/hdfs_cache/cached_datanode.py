@@ -31,6 +31,13 @@ from repro.errors import BlockNotFoundError
 from repro.hdfs_cache.block_mapping import BlockMapping
 from repro.obs.tracer import current_tracer
 from repro.sim.clock import Clock
+from repro.sim.kernel import (
+    collecting_io,
+    current_kernel,
+    defer_io,
+    io_collection_active,
+    replay_plan,
+)
 from repro.storage.device import DeviceProfile, StorageDevice
 from repro.storage.hdfs.block import BlockId
 from repro.storage.hdfs.datanode import DataNode
@@ -104,6 +111,7 @@ class CachedDataNode:
         self.ssd = StorageDevice(
             ssd_profile if ssd_profile is not None else DeviceProfile.ssd_local(),
             clock,
+            service_bucket="cache_ssd",
         )
         config = CacheConfig(
             page_size=page_size,
@@ -120,6 +128,18 @@ class CachedDataNode:
         self._identities: dict[str, BlockId] = {}
         self.enabled = True
         self.traffic: list[TrafficSample] = []
+
+    def attach_kernel(self, kernel) -> "CachedDataNode":
+        """Bind both devices (HDD, cache SSD) to an event kernel.
+
+        Kernel-mode reads (:meth:`read_block_proc`) then block in real
+        device FIFOs; the HDD exports live ``device_queue_depth`` /
+        ``blocked_processes`` gauges through this node's registry.
+        """
+        self.datanode.device.attach_kernel(kernel)
+        self.datanode.device.metrics = self.metrics
+        self.ssd.attach_kernel(kernel)
+        return self
 
     # -- identity plumbing ----------------------------------------------------
 
@@ -172,6 +192,35 @@ class CachedDataNode:
             span.annotate("latency", result.latency)
             span.annotate("from_cache", result.from_cache)
             return result
+
+    def read_block_proc(
+        self, identity: BlockId, offset: int = 0, length: int | None = None
+    ):
+        """Kernel-mode block read: decisions at the arrival instant, waits
+        experienced.
+
+        The Figure-11 workflow (mapping lookup, admission, eviction) runs
+        synchronously exactly as in :meth:`read_block`, under deferred-I/O
+        collection; the calling process then replays the collected device
+        transfers, genuinely blocking in the HDD/SSD FIFO queues, and the
+        result's latency is *measured* from the virtual clock.  Replay the
+        generator with ``yield from`` inside a kernel process.
+        """
+        tracer = current_tracer()
+        with tracer.span(
+            "block_read", actor=self.datanode.name, block=str(identity)
+        ) as span:
+            start = self.clock.now()
+            plan: list = []
+            with collecting_io(plan):
+                result = self._read_block(identity, offset, length, span)
+            yield from replay_plan(plan)
+            latency = self.clock.now() - start
+            span.annotate("latency", latency)
+            span.annotate("from_cache", result.from_cache)
+            return CachedReadResult(
+                data=result.data, latency=latency, from_cache=result.from_cache
+            )
 
     def _read_block(
         self, identity: BlockId, offset: int, length: int | None, span
@@ -244,7 +293,30 @@ class CachedDataNode:
             "cache_load", actor=self.datanode.name, off_path=True
         ):
             total = self._source.file_length(key)
-            self.cache.read(key, 0, total, self._source)
+            if io_collection_active():
+                # kernel mode: the load's device transfers must not extend
+                # the triggering read (it is served from the warmed cache),
+                # but they *do* compete for the HDD/SSD -- collect them in
+                # a sub-plan and replay it in a background process.
+                subplan: list = []
+                with collecting_io(subplan):
+                    self.cache.read(key, 0, total, self._source)
+
+                def _spawn_load(subplan: list = subplan) -> float:
+                    def load_proc():
+                        with current_tracer().span(
+                            "cache_load_io", actor=self.datanode.name, off_path=True
+                        ):
+                            yield from replay_plan(subplan)
+
+                    current_kernel().spawn(
+                        load_proc(), name=f"cache-load/{self.datanode.name}"
+                    )
+                    return 0.0
+
+                defer_io(_spawn_load)
+            else:
+                self.cache.read(key, 0, total, self._source)
         self.mapping.record(identity.block_id, key, total)
 
     # -- mutations the cache must track ----------------------------------------------

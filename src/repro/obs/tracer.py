@@ -47,6 +47,14 @@ class NoopTracer:
     def open_spans(self) -> list[Span]:
         return []
 
+    # context switching is a no-op without a span stack (the event kernel
+    # calls these around every process step)
+    def capture_context(self) -> list[Span]:
+        return []
+
+    def restore_context(self, context: list[Span]) -> None:
+        return None
+
 
 NOOP_TRACER = NoopTracer()
 
@@ -131,6 +139,22 @@ class SimTracer:
             self._stack.remove(span)
         if span.sampled:
             self.buffer.record(span)
+
+    # -- process context switching -------------------------------------------
+    #
+    # The span stack is per-logical-task state.  Under the analytic
+    # simulator there is exactly one task, so a single stack suffices; the
+    # event kernel interleaves many processes on one tracer, so it saves
+    # the stack when a process suspends and restores it when the process
+    # resumes (repro.sim.kernel duck-types on these two methods).
+
+    def capture_context(self) -> list[Span]:
+        """Snapshot the open-span stack (the current process's context)."""
+        return list(self._stack)
+
+    def restore_context(self, context: list[Span]) -> None:
+        """Replace the open-span stack with a previously captured snapshot."""
+        self._stack = list(context)
 
     # -- introspection -------------------------------------------------------
 

@@ -30,6 +30,7 @@ from repro.presto.split import Split, splits_for_file
 from repro.presto.worker import Worker
 from repro.resilience.health import NodeHealthTracker
 from repro.sim.clock import SimClock
+from repro.sim.kernel import Timeout, all_of
 from repro.sim.rng import RngStream
 from repro.presto.query import QueryProfile
 from repro.storage.remote import DataSource
@@ -115,6 +116,26 @@ class PrestoCluster:
             health=health,
         )
         return cls(coordinator=coordinator, workers=workers, ring=ring)
+
+    def attach_kernel(self, kernel) -> "PrestoCluster":
+        """Attach every worker's devices (and the shared source, when it
+        supports it) to an event kernel for :meth:`Coordinator.run_concurrent_kernel`."""
+        for worker in self.workers.values():
+            worker.attach_kernel(kernel)
+            # unwrap resilience/data-source layers down to something with
+            # its own kernel attachment (e.g. an ObjectStore); sources that
+            # model pure link latency need none
+            source, seen = worker.source, set()
+            while source is not None and id(source) not in seen:
+                seen.add(id(source))
+                attach = getattr(source, "attach_kernel", None)
+                if attach is not None:
+                    attach(kernel)
+                    break
+                source = getattr(source, "inner", None) or getattr(
+                    source, "_store", None
+                )
+        return self
 
 
 class Coordinator:
@@ -371,6 +392,177 @@ class Coordinator:
                                 stats=stats)
                 )
         return results
+
+    def run_concurrent_kernel(
+        self,
+        arrivals: list[tuple[float, QueryProfile]],
+        *,
+        kernel,
+        worker_concurrency: int = 4,
+    ) -> list[QueryResult]:
+        """Concurrent execution on an event kernel: queueing is *lived*.
+
+        Each worker runs ``worker_concurrency`` split-executor processes
+        fed by a FIFO channel; each query is a process spawned at its
+        arrival time that schedules splits against the *live* in-flight
+        backlog, submits them, and waits for their completions.  A split
+        whose worker crashes mid-flight is rescheduled elsewhere, exactly
+        as :meth:`_execute_with_failover` does analytically.  Queue waits,
+        device contention, and hedging all come out of the kernel rather
+        than the serial ``worker_free_at`` bookkeeping of
+        :meth:`run_concurrent`.
+
+        The cluster must be kernel-attached first
+        (:meth:`PrestoCluster.attach_kernel`).  Drives ``kernel.run()``
+        to completion and returns per-query results in arrival order.
+        """
+        if worker_concurrency < 1:
+            raise ValueError(
+                f"worker_concurrency must be >= 1, got {worker_concurrency}"
+            )
+        tracer = current_tracer()
+        probe_latency = getattr(self.scheduler, "probe_latency", 0.0)
+        channels = {
+            name: kernel.channel(name=f"splits/{name}") for name in self.workers
+        }
+        # queued + executing splits per worker: the scheduler's live load
+        # view, and what the analytic path approximates with `outstanding`
+        in_flight = {name: 0 for name in self.workers}
+
+        def executor(name: str):
+            worker = self.workers[name]
+            chan = channels[name]
+            while True:
+                task = yield chan.get()
+                if task is None:
+                    return
+                split, profile, stats, bypass, done, ctx = task
+                # adopt the submitting query's span context so the split's
+                # spans land in that query's trace
+                tracer.restore_context(ctx)
+                try:
+                    result = yield from worker.execute_split_proc(
+                        split, profile, stats, bypass_cache=bypass
+                    )
+                except ConnectionError as exc:
+                    in_flight[name] -= 1
+                    done.trigger((name, None, exc))
+                else:
+                    in_flight[name] -= 1
+                    done.trigger((name, result, None))
+                finally:
+                    tracer.restore_context([])
+
+        def query_proc(arrival: float, query: QueryProfile):
+            with tracer.span(
+                "query", actor="coordinator",
+                query_id=query.query_id, arrival=arrival,
+            ) as qspan:
+                stats = QueryRuntimeStats(query_id=query.query_id)
+                stats.tables = [scan.table for scan in query.scans]
+                planned = self.plan(query)
+                stats.splits = len(planned)
+                partitions_touched: set[str] = set()
+                scheduling_wall = 0.0
+                ctx = tracer.capture_context()
+                dead: set[str] = set()
+                pending = list(planned)
+                while pending:
+                    submitted = []
+                    for split, profile in pending:
+                        live = {
+                            name: in_flight[name]
+                            for name in self._schedulable_workers()
+                            if name not in dead
+                        }
+                        if not live:
+                            raise SchedulerError(
+                                "no workers left to run split of "
+                                f"{split.qualified_table}"
+                            )
+                        decision = self.scheduler.assign(split, live)
+                        probe_cost = max(decision.probes - 1, 0) * probe_latency
+                        if probe_cost > 0:
+                            yield Timeout(probe_cost)
+                            qspan.charge("queueing", probe_cost)
+                            scheduling_wall += probe_cost
+                        if decision.affinity:
+                            stats.affinity_hits += 1
+                        if decision.bypass_cache:
+                            stats.cache_bypassed_splits += 1
+                        done = kernel.event()
+                        in_flight[decision.worker] += 1
+                        channels[decision.worker].put(
+                            (split, profile, stats, decision.bypass_cache,
+                             done, ctx)
+                        )
+                        submitted.append((split, profile, done))
+                        partitions_touched.add(
+                            f"{split.qualified_table}/{split.partition}"
+                        )
+                    if submitted:
+                        yield all_of(*(done for _, _, done in submitted))
+                    pending = []
+                    for split, profile, done in submitted:
+                        name, result, exc = done.value
+                        if exc is not None:
+                            self.split_failovers += 1
+                            self.metrics.counter("failovers").inc()
+                            self.metrics.record_error("execute_split", exc)
+                            qspan.event("split_failover", worker=name)
+                            if self.health is not None:
+                                self.health.record_failure(name)
+                            dead.add(name)
+                            pending.append((split, profile))
+                        elif self.health is not None:
+                            self.health.record_success(name)
+                if query.compute_seconds > 0:
+                    yield Timeout(query.compute_seconds)
+                qspan.charge("compute", query.compute_seconds)
+                stats.partitions = sorted(partitions_touched)
+                wall = kernel.clock.now() - arrival
+                stats.input_wall += scheduling_wall
+                stats.total_wall = wall
+                qspan.annotate(
+                    "wall",
+                    stats.input_wall + stats.compute_wall + query.compute_seconds,
+                )
+                qspan.annotate("makespan", wall)
+                qspan.annotate("splits", stats.splits)
+                self.metrics.histogram("query_wall_seconds").observe(
+                    wall, exemplar=qspan.span_id or None
+                )
+                self.aggregator.record(stats)
+                return QueryResult(
+                    query_id=query.query_id, wall_seconds=wall, stats=stats
+                )
+
+        executors = [
+            kernel.spawn(executor(name), name=f"executor/{name}/{i}")
+            for name in self.workers
+            for i in range(worker_concurrency)
+        ]
+        ordered = sorted(arrivals, key=lambda pair: pair[0])
+        query_procs = [
+            kernel.spawn_at(
+                arrival, query_proc(arrival, query),
+                name=f"query/{query.query_id}",
+            )
+            for arrival, query in ordered
+        ]
+
+        def supervisor():
+            yield all_of(*query_procs)
+            for name in self.workers:
+                for _ in range(worker_concurrency):
+                    channels[name].put(None)
+
+        kernel.spawn(supervisor())
+        kernel.run()
+        for proc in query_procs:
+            if proc.exception is not None:
+                raise proc.exception
+        return [proc.value for proc in query_procs]
 
     # -- fleet reporting -----------------------------------------------------------
 

@@ -17,6 +17,7 @@ from repro.obs.tracer import current_tracer
 from repro.presto.split import Split
 from repro.presto.runtime_stats import QueryRuntimeStats
 from repro.sim.clock import Clock, SimClock
+from repro.sim.kernel import Timeout, collecting_io, replay_plan
 from repro.storage.remote import DataSource
 
 
@@ -56,7 +57,9 @@ class Worker:
 
                 page_store = SimulatedSsdPageStore(
                     StorageDevice(DeviceProfile.ssd_local(), self.clock,
-                                  keep_records=False, queueing=False)
+                                  keep_records=False, queueing=False,
+                                  service_bucket="cache_ssd",
+                                  metrics=self.metrics)
                 )
             self.cache = LocalCacheManager(
                 config,
@@ -75,6 +78,15 @@ class Worker:
         self.busy_seconds = 0.0
         self.splits_executed = 0
         self.online = True
+
+    def attach_kernel(self, kernel) -> "Worker":
+        """Attach the worker's SSD page-store device to an event kernel so
+        concurrent splits on this worker queue for the SSD for real."""
+        if self.cache is not None:
+            device = getattr(self.cache.page_store, "device", None)
+            if device is not None:
+                device.attach_kernel(kernel)
+        return self
 
     def fail(self) -> None:
         """Crash the worker (container kill); splits sent here error out
@@ -108,6 +120,50 @@ class Worker:
             span.annotate("input_wall", result.input_wall)
             span.annotate("cpu_time", result.cpu_time)
             self.busy_seconds += elapsed
+            self.splits_executed += 1
+            return result
+
+    def execute_split_proc(
+        self,
+        split: Split,
+        profile: ScanProfile,
+        stats: QueryRuntimeStats | None = None,
+        *,
+        bypass_cache: bool = False,
+    ):
+        """Kernel-process split scan: IO is *lived* rather than summed.
+
+        The operator runs synchronously under IO collection (cache
+        decisions, admission, and chaos resolve at the arrival instant,
+        exactly as in analytic mode) and its deferred IO plan is then
+        replayed -- the process queues in device/remote FIFOs alongside
+        every other in-flight split.  CPU and input-handling costs become
+        a kernel timer.  ``yield from`` this inside a kernel process.
+        """
+        if not self.online:
+            raise ConnectionError(f"presto worker {self.name} is offline")
+        tracer = current_tracer()
+        with tracer.span(
+            "execute_split", actor=self.name,
+            file_id=split.file_id, table=split.qualified_table,
+        ) as span:
+            plan: list = []
+            with collecting_io(plan):
+                result = self._operator.execute(
+                    split, profile, stats, bypass_cache=bypass_cache
+                )
+            # synchronous residue: handling + CPU (the operator charged it
+            # to this span already); deferred IO contributed zero latency
+            sync = result.input_wall + result.cpu_time
+            io_wall = yield from replay_plan(plan)
+            if sync > 0:
+                yield Timeout(sync)
+            result.input_wall += io_wall
+            if stats is not None:
+                stats.input_wall += io_wall
+            span.annotate("input_wall", result.input_wall)
+            span.annotate("cpu_time", result.cpu_time)
+            self.busy_seconds += result.input_wall + result.cpu_time
             self.splits_executed += 1
             return result
 

@@ -63,6 +63,16 @@ class HedgePolicy:
         self.hedged_requests = 0
         self.hedge_wins = 0
         self.hedge_errors = 0
+        # bytes actually moved by cancelled hedge losers (kernel mode
+        # measures the partial transfer; the analytic engine cannot)
+        self.wasted_bytes = 0
+
+    def record_cancelled(self, nbytes: int) -> None:
+        """Account a cancelled loser's partially transferred bytes."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        self.wasted_bytes += int(nbytes)
+        self.metrics.counter("hedge_wasted_bytes").inc(int(nbytes))
 
     # -- observation ---------------------------------------------------------
 

@@ -27,6 +27,15 @@ from repro.obs.tracer import current_tracer
 from repro.resilience.breaker import CircuitBreaker
 from repro.resilience.hedge import HedgePolicy
 from repro.resilience.policy import RetryPolicy
+from repro.sim.kernel import (
+    Timeout,
+    any_of,
+    collecting_io,
+    current_kernel,
+    defer_io,
+    io_collection_active,
+    replay_plan,
+)
 from repro.sim.rng import RngStream
 from repro.storage.remote import DataSource, ReadResult
 
@@ -64,6 +73,8 @@ class ResilientDataSource:
         return self.inner.file_length(file_id)
 
     def read(self, file_id: str, offset: int, length: int) -> ReadResult:
+        if io_collection_active():
+            return self._read_collected(file_id, offset, length)
         policy = self.policy
         span = current_tracer().current()
         breaker_open = self.breaker is not None and not self.breaker.allow()
@@ -136,3 +147,261 @@ class ResilientDataSource:
         tracer = current_tracer()
         with tracer.span("hedge_attempt", actor=self.operation, hedge_attempt=True):
             return self.inner.read(file_id, offset, length).latency
+
+    # -- kernel mode ---------------------------------------------------------
+    #
+    # Under IO collection the retry loop still runs *synchronously* at the
+    # arrival instant (so chaos dice, breaker state, and counters resolve
+    # exactly as in analytic mode and the returned data is final), but the
+    # time cost is deferred: one composite replay op re-experiences failed
+    # attempts, sleeps backoffs on kernel timers, and runs the winning
+    # attempt as a real process -- optionally racing a hedge backup that is
+    # cancelled mid-flight when it loses.
+
+    def _read_collected(self, file_id: str, offset: int, length: int) -> ReadResult:
+        policy = self.policy
+        span = current_tracer().current()
+        breaker_open = self.breaker is not None and not self.breaker.allow()
+        if breaker_open:
+            span.event("breaker_open", operation=self.operation)
+        self.last_retry_backoff = 0.0
+        self.last_queue_wait = 0.0
+        failed: list[tuple[list, float]] = []
+        last_exc: Exception | None = None
+        for attempt in range(1, policy.max_attempts + 1):
+            subplan: list = []
+            try:
+                with collecting_io(subplan):
+                    result = self.inner.read(file_id, offset, length)
+            except _RETRYABLE as exc:
+                last_exc = exc
+                self.metrics.record_error(self.operation, exc)
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                if attempt < policy.max_attempts:
+                    self.metrics.counter("retries").inc()
+                    backoff = policy.backoff(attempt, self.rng)
+                    span.event(
+                        "retry", attempt=attempt, error=type(exc).__name__
+                    )
+                    failed.append((subplan, backoff))
+                continue
+            if self.breaker is not None:
+                self.breaker.record_success()
+            if attempt > 1 or breaker_open:
+                self.metrics.counter("degraded_serves").inc()
+            defer_io(
+                self._resilient_op(file_id, offset, length, failed, subplan, attempt)
+            )
+            return ReadResult(data=result.data, latency=0.0)
+        self.metrics.counter("retry_exhausted").inc()
+        span.event("retries_exhausted", attempts=policy.max_attempts)
+        raise RetriesExhaustedError(
+            f"{self.operation} of {file_id!r} failed after "
+            f"{policy.max_attempts} attempts"
+        ) from last_exc
+
+    def _resilient_op(
+        self,
+        file_id: str,
+        offset: int,
+        length: int,
+        failed: list[tuple[list, float]],
+        winner_plan: list,
+        attempt_no: int,
+    ):
+        """Composite replay op: failed attempts' IO, backoff timers, then
+        the winning attempt (deadline-capped or hedge-raced)."""
+
+        def op():
+            span = current_tracer().current()
+            clock = current_kernel().clock
+            start = clock.now()
+            backoff_total = 0.0
+            for subplan, backoff in failed:
+                # a failed attempt's partial IO (ops deferred before the
+                # failure raised) is real wasted time on the serving path
+                yield from replay_plan(subplan)
+                if backoff > 0:
+                    yield Timeout(backoff)
+                    span.charge("retry_backoff", backoff)
+                    backoff_total += backoff
+            if self.hedge is not None:
+                yield from self._hedged_replay(
+                    file_id, offset, length, winner_plan, span
+                )
+            else:
+                yield from self._deadline_replay(
+                    file_id, offset, length, winner_plan, attempt_no, span
+                )
+            return clock.now() - start
+
+        return op
+
+    @staticmethod
+    def _plan_proc(plan: list):
+        """Process body that replays one attempt's collected IO plan."""
+        elapsed = yield from replay_plan(plan)
+        return elapsed
+
+    def _deadline_replay(
+        self,
+        file_id: str,
+        offset: int,
+        length: int,
+        plan: list,
+        attempt_no: int,
+        span,
+    ):
+        """Replay the winning attempt under the per-attempt deadline.
+
+        The analytic engine compares a *derived* latency against the
+        deadline; here the attempt runs as a process raced against a
+        kernel timer and is cancelled mid-flight on expiry, after which a
+        fresh attempt is collected at the current instant and retried.
+        If a replay-time re-attempt fails (fresh chaos dice) or attempts
+        run out, the original winning plan is replayed uncapped -- the
+        caller already holds its data.
+        """
+        policy = self.policy
+        kernel = current_kernel()
+        while True:
+            if policy.attempt_timeout is None or attempt_no >= policy.max_attempts:
+                elapsed = yield from replay_plan(plan)
+                return elapsed
+            proc = kernel.spawn(
+                self._plan_proc(plan),
+                name=f"{self.operation}/attempt-{attempt_no}",
+            )
+            timer = kernel.timer(policy.attempt_timeout)
+            yield any_of(proc, timer)
+            if proc.done:
+                timer.cancel()
+                if proc.exception is not None:
+                    raise proc.exception
+                return proc.value
+            proc.cancel("attempt deadline")
+            self.metrics.record_error(self.operation, "AttemptDeadlineExceeded")
+            if self.breaker is not None:
+                self.breaker.record_failure()
+            self.metrics.counter("retries").inc()
+            backoff = policy.backoff(attempt_no, self.rng)
+            span.event("retry", attempt=attempt_no, error="AttemptDeadlineExceeded")
+            if backoff > 0:
+                yield Timeout(backoff)
+                span.charge("retry_backoff", backoff)
+            attempt_no += 1
+            subplan: list = []
+            try:
+                with collecting_io(subplan):
+                    self.inner.read(file_id, offset, length)
+            except _RETRYABLE as exc:
+                self.metrics.record_error(self.operation, exc)
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                # fall through with the original plan; the next loop
+                # iteration may still race it against the deadline
+                continue
+            if self.breaker is not None:
+                self.breaker.record_success()
+            plan = subplan
+
+    def _hedged_replay(
+        self,
+        file_id: str,
+        offset: int,
+        length: int,
+        plan: list,
+        span,
+    ):
+        """Race the winning attempt against a hedge backup, for real.
+
+        The primary replays as a process.  If it outlives the hedge
+        threshold, a backup process launches (collecting a *fresh* inner
+        read at that instant) and whichever finishes second is cancelled
+        mid-flight -- its partially moved bytes land in
+        ``HedgePolicy.wasted_bytes``.  When hedging is configured the
+        per-attempt deadline is not applied; the hedge is the tail guard.
+        """
+        hedge = self.hedge
+        kernel = current_kernel()
+        clock = kernel.clock
+        start = clock.now()
+        primary = kernel.spawn(
+            self._plan_proc(plan), name=f"{self.operation}/hedge-primary"
+        )
+        threshold = hedge.threshold()
+        if threshold is None:
+            yield primary
+            elapsed = clock.now() - start
+            hedge.observe(elapsed)
+            return elapsed
+        timer = kernel.timer(threshold)
+        yield any_of(primary, timer)
+        if primary.done:
+            timer.cancel()
+            if primary.exception is not None:
+                raise primary.exception
+            elapsed = clock.now() - start
+            hedge.observe(elapsed)
+            return elapsed
+        hedge.hedged_requests += 1
+        hedge.metrics.counter("hedged_requests").inc()
+        backup = kernel.spawn(
+            self._backup_proc(file_id, offset, length),
+            name=f"{self.operation}/hedge-backup",
+        )
+        yield any_of(primary, backup)
+        if backup.done and backup.exception is not None and not backup.cancelled:
+            # backup target failed; the slow primary still serves the read
+            hedge.hedge_errors += 1
+            hedge.metrics.counter("hedge_errors").inc()
+            hedge.metrics.record_error("hedge_backup", backup.exception)
+            if not primary.done:
+                yield primary
+            elapsed = clock.now() - start
+            hedge.observe(elapsed)
+            span.event("hedge", won=False)
+            return elapsed
+        won = backup.done and not primary.done
+        loser = primary if won else backup
+        if not loser.done:
+            loser.cancel("hedge loser")
+            hedge.record_cancelled(loser.wasted_bytes)
+        if won:
+            hedge.hedge_wins += 1
+            hedge.metrics.counter("hedge_wins").inc()
+        elapsed = clock.now() - start
+        hedge.observe(elapsed)
+        span.event("hedge", won=won)
+        return elapsed
+
+    def _backup_proc(self, file_id: str, offset: int, length: int):
+        """Hedge backup process: fresh inner read, collected then replayed.
+
+        Collection happens at launch time (the threshold instant), so
+        chaos dice and token-bucket state resolve exactly when the backup
+        actually fires.  The ``hedge_attempt`` span attr keeps the
+        subtree off the serving-path attribution.
+        """
+        tracer = current_tracer()
+        with tracer.span(
+            "hedge_attempt", actor=self.operation, hedge_attempt=True
+        ):
+            subplan: list = []
+            with collecting_io(subplan):
+                self.inner.read(file_id, offset, length)
+            elapsed = yield from replay_plan(subplan)
+        return elapsed
+
+    def read_proc(self, file_id: str, offset: int, length: int):
+        """Kernel-process entry point: collect this read, then live it.
+
+        ``yield from`` inside a kernel process; returns a
+        :class:`ReadResult` whose latency is measured wall time.
+        """
+        plan: list = []
+        with collecting_io(plan):
+            result = self.read(file_id, offset, length)
+        latency = yield from replay_plan(plan)
+        return ReadResult(data=result.data, latency=latency)

@@ -1,43 +1,24 @@
-"""A timestamped-callback event loop over a :class:`~repro.sim.clock.SimClock`.
+"""Compatibility shim: the legacy ``EventLoop`` API over the event kernel.
 
-Used for the periodic background jobs the paper describes: the TTL eviction
-sweep (Section 4.1), the rate limiter's minute-bucket rotation (Section
-6.2.2), and per-minute metrics aggregation (Section 6.1.3).
+Historically this module held its own heap of timestamped callbacks; that
+machinery now lives in :class:`repro.sim.kernel.Kernel`, which serves both
+plain timer callbacks (periodic TTL sweeps, rate-limiter bucket rotation,
+metrics flushes) and generator-coroutine processes.  ``EventLoop`` remains
+for existing callers (``trace_viz``, the chaos injector, the cache
+manager's TTL sweep) and simply maps the old method names onto the
+kernel's timer API.  New code should use :class:`~repro.sim.kernel.Kernel`
+directly.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.sim.clock import SimClock
+from repro.sim.kernel import Kernel, _TimerHandle
 
 
-@dataclass(order=True, frozen=True)
-class ScheduledEvent:
-    """An event in the loop's heap, ordered by (time, sequence number)."""
-
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(compare=False, default=False, hash=False)
-
-
-class _Handle:
-    """Cancellation handle returned by :meth:`EventLoop.schedule`."""
-
-    __slots__ = ("cancelled",)
-
-    def __init__(self) -> None:
-        self.cancelled = False
-
-    def cancel(self) -> None:
-        self.cancelled = True
-
-
-class EventLoop:
+class EventLoop(Kernel):
     """A heap of timestamped callbacks driven by a virtual clock.
 
     >>> loop = EventLoop()
@@ -49,73 +30,21 @@ class EventLoop:
     """
 
     def __init__(self, clock: SimClock | None = None) -> None:
-        self.clock = clock if clock is not None else SimClock()
-        self._heap: list[tuple[float, int, _Handle, Callable[[], None]]] = []
-        self._seq = itertools.count()
+        super().__init__(clock)
 
-    def __len__(self) -> int:
-        return sum(1 for __, __, handle, __ in self._heap if not handle.cancelled)
-
-    def schedule(self, when: float, callback: Callable[[], None]) -> _Handle:
+    def schedule(self, when: float, callback: Callable[[], None]) -> _TimerHandle:
         """Schedule ``callback`` to fire at absolute virtual time ``when``."""
-        if when < self.clock.now():
-            raise ValueError(
-                f"cannot schedule in the past (when={when}, now={self.clock.now()})"
-            )
-        handle = _Handle()
-        heapq.heappush(self._heap, (when, next(self._seq), handle, callback))
-        return handle
+        return self.call_at(when, callback)
 
-    def schedule_after(self, delay: float, callback: Callable[[], None]) -> _Handle:
+    def schedule_after(self, delay: float, callback: Callable[[], None]) -> _TimerHandle:
         """Schedule ``callback`` to fire ``delay`` seconds from now."""
-        return self.schedule(self.clock.now() + delay, callback)
+        return self.call_after(delay, callback)
 
     def schedule_periodic(
         self, interval: float, callback: Callable[[], None], *, start: float | None = None
-    ) -> _Handle:
+    ) -> _TimerHandle:
         """Fire ``callback`` every ``interval`` seconds until cancelled.
 
         Returns a single handle; cancelling it stops future firings.
         """
-        if interval <= 0:
-            raise ValueError(f"interval must be positive, got {interval}")
-        handle = _Handle()
-        first = self.clock.now() + interval if start is None else start
-
-        def fire() -> None:
-            if handle.cancelled:
-                return
-            callback()
-            if not handle.cancelled:
-                heapq.heappush(
-                    self._heap,
-                    (self.clock.now() + interval, next(self._seq), handle, fire),
-                )
-
-        heapq.heappush(self._heap, (first, next(self._seq), handle, fire))
-        return handle
-
-    def run_until(self, deadline: float) -> None:
-        """Advance the clock, firing every due callback, up to ``deadline``."""
-        while self._heap and self._heap[0][0] <= deadline:
-            when, __, handle, callback = heapq.heappop(self._heap)
-            if handle.cancelled:
-                continue
-            self.clock.advance_to(when)
-            callback()
-        self.clock.advance_to(deadline)
-
-    def run_all(self, *, max_events: int = 1_000_000) -> None:
-        """Drain the heap completely (bounded by ``max_events``)."""
-        fired = 0
-        while self._heap:
-            when, __, handle, callback = heapq.heappop(self._heap)
-            if handle.cancelled:
-                continue
-            self.clock.advance_to(when)
-            callback()
-            fired += 1
-            if fired >= max_events:
-                raise RuntimeError(
-                    f"event loop did not quiesce after {max_events} events"
-                )
+        return self.call_periodic(interval, callback, start=start)

@@ -1,0 +1,798 @@
+"""A process-based discrete-event kernel over :class:`~repro.sim.clock.SimClock`.
+
+The analytic simulator computes queueing delay from closed-form channel
+state: ``StorageDevice`` returns ``wait + service`` as a number and the
+caller decides what to do with it.  That reproduces steady-state figures
+but cannot express the phenomena the paper's robustness story hinges on --
+processes *blocking* on a saturated device (Fig 14), a hedged read whose
+loser is cancelled mid-flight, a worker pool draining a split queue.  This
+module supplies the missing substrate:
+
+- **Processes** are generator coroutines driven by the kernel.  A process
+  yields *waitables* (a :class:`Timeout`, an :class:`Event`, a
+  :class:`Resource` request, another :class:`Process`, or an
+  :func:`any_of`/:func:`all_of` combinator) and is resumed when the wait
+  completes.  Virtual time only moves between events.
+- **Determinism**: the run queue is a heap ordered by ``(time, seq)``
+  where ``seq`` is a global monotone counter, so same-timestamp events
+  fire in schedule order (FIFO).  Process ids are sequential.  Two runs
+  of the same scenario produce the identical event order.
+- **Cancellation** is synchronous: ``process.cancel()`` detaches the
+  process from whatever it is waiting on (including a resource's FIFO
+  queue) and throws :class:`Cancelled` into the generator, so ``finally``
+  blocks release resources and I/O models can account the bytes actually
+  wasted by an abandoned transfer.
+- **Deferred-I/O collection** bridges the synchronous decision logic
+  (cache admission, eviction, scheduling) and the event kernel.  Under
+  :func:`collecting_io`, device/remote models append replayable operation
+  generators to a plan and return ~0 latency; the owning process then
+  replays the plan with :func:`replay_plan`, *experiencing* queue waits
+  at kernel resources.  Decisions happen at the arrival instant exactly
+  as in analytic mode (so hit ratios agree); time becomes emergent.
+
+The kernel also subsumes the old ``EventLoop`` timer API
+(:meth:`Kernel.call_at` / :meth:`Kernel.call_after` /
+:meth:`Kernel.call_periodic` / :meth:`Kernel.run_until` /
+:meth:`Kernel.run_all`); ``repro.sim.events.EventLoop`` is now a thin
+compatibility alias over it.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Callable, Generator, Iterator
+
+from repro.obs.tracer import current_tracer
+from repro.sim.clock import SimClock
+
+
+class SimMode(enum.Enum):
+    """Which simulation engine a harness drives.
+
+    ANALYTIC: closed-form queueing (cheap, serial, no cancellation).
+    KERNEL: process-based discrete events (concurrency is real).
+    """
+
+    ANALYTIC = "analytic"
+    KERNEL = "kernel"
+
+
+class Cancelled(Exception):
+    """Thrown into a process's generator by :meth:`Process.cancel`."""
+
+
+class KernelError(RuntimeError):
+    """Misuse of the kernel API (yielding a non-waitable, self-cancel...)."""
+
+
+# ---------------------------------------------------------------------------
+# deferred-I/O collection
+
+
+_COLLECTION_STACK: list[list] = []
+
+# the kernel currently stepping a process (None outside process context);
+# lets replayed operation generators reach the clock / spawn helpers
+# without threading a kernel reference through every model layer.
+_CURRENT_KERNEL: list["Kernel"] = []
+
+
+@contextmanager
+def collecting_io(plan: list) -> Iterator[list]:
+    """Collect deferred I/O operations into ``plan`` instead of running them.
+
+    While active, kernel-attached devices and remote models append
+    zero-argument *operation generators* to ``plan`` via :func:`defer_io`
+    and report ~0 latency to their synchronous callers.  Replay the plan
+    from a process with ``yield from replay_plan(plan)``.
+    """
+    _COLLECTION_STACK.append(plan)
+    try:
+        yield plan
+    finally:
+        _COLLECTION_STACK.pop()
+
+
+def io_collection_active() -> bool:
+    """True when inside a :func:`collecting_io` block."""
+    return bool(_COLLECTION_STACK)
+
+
+def defer_io(op: Callable[[], Generator]) -> None:
+    """Append an operation generator factory to the active collection plan."""
+    _COLLECTION_STACK[-1].append(op)
+
+
+def replay_plan(plan: list) -> Generator[Any, Any, float]:
+    """Replay collected operations in order; returns total elapsed seconds.
+
+    An operation is a zero-argument callable returning either a generator
+    (replayed with ``yield from``, experiencing kernel waits) or a plain
+    float (an instantaneous side effect, e.g. spawning a background load).
+    """
+    total = 0.0
+    for op in plan:
+        step = op()
+        if hasattr(step, "__next__"):
+            elapsed = yield from step
+        else:
+            elapsed = step
+        total += float(elapsed or 0.0)
+    return total
+
+
+def current_kernel() -> "Kernel":
+    """The kernel driving the currently-executing process."""
+    if not _CURRENT_KERNEL:
+        raise KernelError("no kernel is currently stepping a process")
+    return _CURRENT_KERNEL[-1]
+
+
+def charge_wasted_bytes(nbytes: int) -> None:
+    """Account bytes a cancelled transfer had already moved.
+
+    Called from an I/O operation's ``except Cancelled`` handler; the bytes
+    accrue on the process being cancelled so a hedge can read how much its
+    loser actually wasted.
+    """
+    if _CURRENT_KERNEL:
+        process = _CURRENT_KERNEL[-1].active
+        if process is not None:
+            process.wasted_bytes += int(nbytes)
+
+
+# ---------------------------------------------------------------------------
+# waitables
+
+
+class Timeout:
+    """Yield ``Timeout(delay)`` to sleep ``delay`` virtual seconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise ValueError(f"Timeout delay must be >= 0, got {delay}")
+        self.delay = float(delay)
+
+    def __repr__(self) -> str:
+        return f"Timeout({self.delay!r})"
+
+
+class Event:
+    """A one-shot triggerable waitable carrying an optional value."""
+
+    __slots__ = ("kernel", "name", "triggered", "value", "_callbacks", "_on_abandon")
+
+    def __init__(self, kernel: "Kernel", name: str = "") -> None:
+        self.kernel = kernel
+        self.name = name
+        self.triggered = False
+        self.value: Any = None
+        self._callbacks: list[Callable[["Event"], None]] = []
+        # hook a queue owner (e.g. Channel) installs so an abandoned wait
+        # can be withdrawn from the owner's FIFO
+        self._on_abandon: Callable[[], None] | None = None
+
+    def trigger(self, value: Any = None) -> None:
+        """Fire the event; waiters are resumed via the kernel heap."""
+        if self.triggered:
+            return
+        self.triggered = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self.triggered:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def discard_callback(self, callback: Callable[["Event"], None]) -> None:
+        try:
+            self._callbacks.remove(callback)
+        except ValueError:
+            pass
+
+    def abandon(self) -> None:
+        """Withdraw an untriggered wait from its owner's queue, if any."""
+        if not self.triggered and self._on_abandon is not None:
+            self._on_abandon()
+
+    def _wait_value(self) -> tuple[Any, BaseException | None]:
+        return self.value, None
+
+
+class Timer(Event):
+    """An :class:`Event` that triggers itself at an absolute virtual time."""
+
+    __slots__ = ("when", "_handle")
+
+    def __init__(self, kernel: "Kernel", when: float, name: str = "") -> None:
+        super().__init__(kernel, name=name)
+        self.when = when
+        self._handle = kernel.call_at(when, self.trigger)
+
+    def cancel(self) -> None:
+        """Stop the timer; it will never trigger."""
+        self._handle.cancel()
+
+
+class Request(Event):
+    """A pending or granted claim on one slot of a :class:`Resource`."""
+
+    __slots__ = ("resource", "released", "grant_time")
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.kernel, name=f"req:{resource.name}")
+        self.resource = resource
+        self.released = False
+        self.grant_time: float | None = None
+
+    def abandon(self) -> None:
+        # cancelled while still queued: withdraw from the resource FIFO
+        if not self.triggered:
+            self.resource.release(self)
+
+
+class Resource:
+    """``capacity`` parallel slots with a real FIFO queue of waiters.
+
+    ``request()`` returns a :class:`Request`; yield it to block until a
+    slot is free, and pass it back to :meth:`release` when done (use
+    ``try/finally`` so cancellation releases too).  Releasing a request
+    that is still queued withdraws it (cancel-while-queued).
+    """
+
+    __slots__ = ("kernel", "capacity", "name", "in_use", "_queue")
+
+    def __init__(self, kernel: "Kernel", capacity: int, name: str = "") -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.kernel = kernel
+        self.capacity = capacity
+        self.name = name
+        self.in_use = 0
+        self._queue: deque[Request] = deque()
+
+    def request(self) -> Request:
+        req = Request(self)
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            req.triggered = True  # granted immediately; no waiters yet
+            req.grant_time = self.kernel.clock.now()
+        else:
+            self._queue.append(req)
+        return req
+
+    def release(self, req: Request) -> None:
+        if req.released:
+            return
+        req.released = True
+        if not req.triggered:
+            # still waiting: withdraw from the FIFO
+            try:
+                self._queue.remove(req)
+            except ValueError:
+                pass
+            return
+        self.in_use -= 1
+        while self._queue and self.in_use < self.capacity:
+            nxt = self._queue.popleft()
+            self.in_use += 1
+            nxt.grant_time = self.kernel.clock.now()
+            nxt.trigger(None)
+
+    @property
+    def waiting(self) -> int:
+        """Processes blocked in the FIFO right now."""
+        return len(self._queue)
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests in service plus requests waiting (live occupancy)."""
+        return self.in_use + len(self._queue)
+
+
+class Channel:
+    """An unbounded FIFO message queue; ``get()`` blocks when empty.
+
+    Feeds worker pools: producers :meth:`put` items synchronously, consumer
+    processes ``yield channel.get()`` and are resumed with the item.
+    """
+
+    __slots__ = ("kernel", "name", "_items", "_getters", "puts", "gets")
+
+    def __init__(self, kernel: "Kernel", name: str = "") -> None:
+        self.kernel = kernel
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self.puts = 0
+        self.gets = 0
+
+    def put(self, item: Any) -> None:
+        self.puts += 1
+        if self._getters:
+            self.gets += 1
+            self._getters.popleft().trigger(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        ev = Event(self.kernel, name=f"get:{self.name}")
+        if self._items:
+            ev.triggered = True
+            ev.value = self._items.popleft()
+            self.gets += 1
+        else:
+            self._getters.append(ev)
+
+            def _withdraw(ev: Event = ev) -> None:
+                try:
+                    self._getters.remove(ev)
+                except ValueError:
+                    pass
+
+            ev._on_abandon = _withdraw
+        return ev
+
+    @property
+    def backlog(self) -> int:
+        """Items queued and not yet claimed by a getter."""
+        return len(self._items)
+
+    @property
+    def waiting_getters(self) -> int:
+        return len(self._getters)
+
+
+class _Combinator:
+    """Base for :func:`any_of` / :func:`all_of` wait groups."""
+
+    __slots__ = ("waitables",)
+
+    def __init__(self, waitables: tuple) -> None:
+        if not waitables:
+            raise ValueError("need at least one waitable")
+        self.waitables = waitables
+
+
+class AnyOf(_Combinator):
+    """Resume when the first member completes; the value is that member."""
+
+
+class AllOf(_Combinator):
+    """Resume when every member has completed; the value is the tuple."""
+
+
+def any_of(*waitables) -> AnyOf:
+    return AnyOf(waitables)
+
+
+def all_of(*waitables) -> AllOf:
+    return AllOf(waitables)
+
+
+# ---------------------------------------------------------------------------
+# processes
+
+
+def _is_done(waitable: Any) -> bool:
+    if isinstance(waitable, Process):
+        return waitable.done
+    return bool(waitable.triggered)
+
+
+class Process:
+    """A generator coroutine scheduled by the kernel.
+
+    Exposes the :class:`Event` waitable protocol so processes can be
+    yielded (joined) or combined with :func:`any_of`/:func:`all_of`.
+    Joining a process that failed re-raises its exception in the joiner
+    (including :class:`Cancelled` for a cancelled process).
+    """
+
+    __slots__ = (
+        "kernel", "name", "pid", "done", "cancelled", "value", "exception",
+        "wasted_bytes", "_gen", "_callbacks", "_cleanup", "_start_handle",
+        "_span_context", "started",
+    )
+
+    def __init__(self, kernel: "Kernel", gen: Generator, name: str, pid: int) -> None:
+        self.kernel = kernel
+        self.name = name
+        self.pid = pid
+        self.done = False
+        self.cancelled = False
+        self.started = False
+        self.value: Any = None
+        self.exception: BaseException | None = None
+        # bytes a cancelled transfer had already moved (hedge-loser waste)
+        self.wasted_bytes = 0
+        self._gen = gen
+        self._callbacks: list[Callable[["Process"], None]] = []
+        # detaches the process from its current wait (set by the kernel)
+        self._cleanup: Callable[[], None] | None = None
+        self._start_handle = None
+        self._span_context: list | None = None
+
+    # -- Event-compatible waitable protocol ---------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        return self.done
+
+    def add_callback(self, callback: Callable[["Process"], None]) -> None:
+        if self.done:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def discard_callback(self, callback: Callable[["Process"], None]) -> None:
+        try:
+            self._callbacks.remove(callback)
+        except ValueError:
+            pass
+
+    def abandon(self) -> None:  # joining a process holds no queue slot
+        return None
+
+    def _wait_value(self) -> tuple[Any, BaseException | None]:
+        return self.value, self.exception
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def cancel(self, reason: str = "") -> bool:
+        """Cancel the process *now*: detach its wait, throw :class:`Cancelled`.
+
+        Synchronous -- on return the process has run its ``finally``
+        blocks (releasing resource slots, accounting wasted bytes) and is
+        done.  Returns False if the process had already finished.
+        """
+        if self.done:
+            return False
+        if self.kernel.active is self:
+            raise KernelError("a process cannot cancel itself")
+        if not self.started:
+            # never ran: unschedule the start, close the generator quietly
+            if self._start_handle is not None:
+                self._start_handle.cancel()
+            self._gen.close()
+            self._complete(None, Cancelled(reason or "cancelled before start"),
+                           cancelled=True)
+            return True
+        if self._cleanup is not None:
+            self._cleanup()
+            self._cleanup = None
+        self.kernel._step(self, exc=Cancelled(reason or f"cancel {self.name}"))
+        return True
+
+    def _complete(self, value: Any, exception: BaseException | None,
+                  *, cancelled: bool = False) -> None:
+        self.done = True
+        self.value = value
+        self.exception = exception
+        self.cancelled = cancelled
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:
+        state = ("cancelled" if self.cancelled else
+                 "done" if self.done else
+                 "running" if self.started else "new")
+        return f"Process(pid={self.pid}, name={self.name!r}, {state})"
+
+
+class _TimerHandle:
+    """Cancellation handle for a scheduled callback."""
+
+    __slots__ = ("cancelled",)
+
+    def __init__(self) -> None:
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Kernel:
+    """The discrete-event scheduler: a callback heap plus process driver.
+
+    >>> kernel = Kernel()
+    >>> order = []
+    >>> def proc(tag, delay):
+    ...     yield Timeout(delay)
+    ...     order.append(tag)
+    >>> _ = kernel.spawn(proc("b", 2.0))
+    >>> _ = kernel.spawn(proc("a", 1.0))
+    >>> kernel.run_all()
+    >>> order
+    ['a', 'b']
+    """
+
+    def __init__(self, clock: SimClock | None = None) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self._heap: list[tuple[float, int, _TimerHandle, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._pids = itertools.count(1)
+        self.active: Process | None = None
+        self.processes_spawned = 0
+        self.processes_completed = 0
+        self.processes_cancelled = 0
+
+    # -- timer API (subsumes the old EventLoop) -----------------------------
+
+    def __len__(self) -> int:
+        return sum(1 for __, __, handle, __ in self._heap if not handle.cancelled)
+
+    def call_at(self, when: float, callback: Callable[[], None]) -> _TimerHandle:
+        """Schedule ``callback`` at absolute virtual time ``when``."""
+        if when < self.clock.now():
+            raise ValueError(
+                f"cannot schedule in the past (when={when}, now={self.clock.now()})"
+            )
+        handle = _TimerHandle()
+        heapq.heappush(self._heap, (when, next(self._seq), handle, callback))
+        return handle
+
+    def call_after(self, delay: float, callback: Callable[[], None]) -> _TimerHandle:
+        """Schedule ``callback`` ``delay`` seconds from now."""
+        return self.call_at(self.clock.now() + delay, callback)
+
+    def call_periodic(
+        self, interval: float, callback: Callable[[], None], *,
+        start: float | None = None,
+    ) -> _TimerHandle:
+        """Fire ``callback`` every ``interval`` seconds until cancelled."""
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        handle = _TimerHandle()
+        first = self.clock.now() + interval if start is None else start
+
+        def fire() -> None:
+            if handle.cancelled:
+                return
+            callback()
+            if not handle.cancelled:
+                heapq.heappush(
+                    self._heap,
+                    (self.clock.now() + interval, next(self._seq), handle, fire),
+                )
+
+        heapq.heappush(self._heap, (first, next(self._seq), handle, fire))
+        return handle
+
+    def run_until(self, deadline: float) -> None:
+        """Fire every due event up to ``deadline``, advancing the clock."""
+        while self._heap and self._heap[0][0] <= deadline:
+            when, __, handle, callback = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self.clock.advance_to(when)
+            callback()
+        self.clock.advance_to(deadline)
+
+    def run_all(self, *, max_events: int = 10_000_000) -> None:
+        """Drain the heap completely (bounded by ``max_events``)."""
+        fired = 0
+        while self._heap:
+            when, __, handle, callback = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self.clock.advance_to(when)
+            callback()
+            fired += 1
+            if fired >= max_events:
+                raise KernelError(
+                    f"kernel did not quiesce after {max_events} events"
+                )
+
+    run = run_all
+
+    # -- factories ----------------------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        return Event(self, name=name)
+
+    def timer(self, delay: float, name: str = "") -> Timer:
+        """An event that triggers ``delay`` seconds from now."""
+        return Timer(self, self.clock.now() + delay, name=name)
+
+    def resource(self, capacity: int, name: str = "") -> Resource:
+        return Resource(self, capacity, name=name)
+
+    def channel(self, name: str = "") -> Channel:
+        return Channel(self, name=name)
+
+    # -- processes ----------------------------------------------------------
+
+    def spawn(self, gen: Generator, name: str | None = None) -> Process:
+        """Start a process at the current virtual time."""
+        return self.spawn_at(self.clock.now(), gen, name=name)
+
+    def spawn_at(self, when: float, gen: Generator,
+                 name: str | None = None) -> Process:
+        """Start a process at absolute virtual time ``when``."""
+        pid = next(self._pids)
+        process = Process(self, gen, name or f"proc-{pid}", pid)
+        self.processes_spawned += 1
+        # child processes inherit the spawner's open-span stack so their
+        # spans parent correctly (a query's splits nest under the query)
+        tracer = current_tracer()
+        capture = getattr(tracer, "capture_context", None)
+        if capture is not None:
+            process._span_context = capture()
+        process._start_handle = self.call_at(
+            when, lambda: self._step(process, value=None)
+        )
+        return process
+
+    # -- the process driver -------------------------------------------------
+
+    def _step(self, process: Process, value: Any = None,
+              exc: BaseException | None = None) -> None:
+        """Advance ``process`` by one yield, delivering ``value`` or ``exc``."""
+        if process.done:
+            return
+        process.started = True
+        process._cleanup = None
+        tracer = current_tracer()
+        has_context = hasattr(tracer, "capture_context")
+        if has_context:
+            saved_context = tracer.capture_context()
+            tracer.restore_context(process._span_context or [])
+        previous_active = self.active
+        self.active = process
+        _CURRENT_KERNEL.append(self)
+        try:
+            try:
+                if exc is not None:
+                    yielded = process._gen.throw(exc)
+                else:
+                    yielded = process._gen.send(value)
+            except StopIteration as stop:
+                self.processes_completed += 1
+                process._complete(stop.value, None)
+                return
+            except Cancelled as cancelled_exc:
+                self.processes_cancelled += 1
+                process._complete(None, cancelled_exc, cancelled=True)
+                return
+            except Exception as error:
+                self.processes_completed += 1
+                had_waiters = bool(process._callbacks)
+                process._complete(None, error)
+                if not had_waiters and exc is None:
+                    # nobody is joining: fail fast rather than swallow
+                    raise
+                return
+            self._wait_on(process, yielded)
+        finally:
+            _CURRENT_KERNEL.pop()
+            self.active = previous_active
+            if has_context:
+                process._span_context = tracer.capture_context()
+                tracer.restore_context(saved_context)
+
+    def _resume_at_now(self, process: Process, value: Any = None,
+                       exc: BaseException | None = None) -> _TimerHandle:
+        handle = _TimerHandle()
+        heapq.heappush(
+            self._heap,
+            (self.clock.now(), next(self._seq), handle,
+             lambda: self._step(process, value=value, exc=exc)),
+        )
+        return handle
+
+    def _wait_on(self, process: Process, yielded: Any) -> None:
+        if isinstance(yielded, Timeout):
+            handle = self.call_after(yielded.delay,
+                                     lambda: self._step(process, value=None))
+            process._cleanup = handle.cancel
+            return
+
+        if isinstance(yielded, (Event, Process)):
+            self._wait_single(process, yielded)
+            return
+
+        if isinstance(yielded, AnyOf):
+            self._wait_any(process, yielded)
+            return
+
+        if isinstance(yielded, AllOf):
+            self._wait_all(process, yielded)
+            return
+
+        raise KernelError(
+            f"process {process.name!r} yielded non-waitable {yielded!r}"
+        )
+
+    def _wait_single(self, process: Process, waitable: Any) -> None:
+        if _is_done(waitable):
+            value, error = waitable._wait_value()
+            handle = self._resume_at_now(process, value=value, exc=error)
+            process._cleanup = handle.cancel
+            return
+
+        def on_fire(_w: Any, process: Process = process) -> None:
+            value, error = _w._wait_value()
+            self._resume_at_now(process, value=value, exc=error)
+
+        waitable.add_callback(on_fire)
+
+        def cleanup() -> None:
+            waitable.discard_callback(on_fire)
+            waitable.abandon()
+
+        process._cleanup = cleanup
+
+    def _wait_any(self, process: Process, group: AnyOf) -> None:
+        for waitable in group.waitables:
+            if _is_done(waitable):
+                handle = self._resume_at_now(process, value=waitable)
+                process._cleanup = handle.cancel
+                return
+
+        fired = [False]
+        registered: list[tuple[Any, Callable]] = []
+
+        def detach() -> None:
+            for waitable, callback in registered:
+                waitable.discard_callback(callback)
+
+        for waitable in group.waitables:
+            def on_fire(_w: Any, waitable: Any = waitable) -> None:
+                if fired[0]:
+                    return
+                fired[0] = True
+                detach()
+                self._resume_at_now(process, value=waitable)
+
+            waitable.add_callback(on_fire)
+            registered.append((waitable, on_fire))
+
+        def cleanup() -> None:
+            fired[0] = True
+            detach()
+            # note: members are deliberately NOT abandoned -- an any_of
+            # loser (e.g. the still-running primary of a hedge) keeps
+            # going until explicitly cancelled.
+
+        process._cleanup = cleanup
+
+    def _wait_all(self, process: Process, group: AllOf) -> None:
+        remaining = [sum(1 for w in group.waitables if not _is_done(w))]
+        if remaining[0] == 0:
+            handle = self._resume_at_now(process, value=list(group.waitables))
+            process._cleanup = handle.cancel
+            return
+
+        cancelled = [False]
+        registered: list[tuple[Any, Callable]] = []
+
+        def on_fire(_w: Any) -> None:
+            if cancelled[0]:
+                return
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                self._resume_at_now(process, value=list(group.waitables))
+
+        for waitable in group.waitables:
+            if not _is_done(waitable):
+                waitable.add_callback(on_fire)
+                registered.append((waitable, on_fire))
+
+        def cleanup() -> None:
+            cancelled[0] = True
+            for waitable, callback in registered:
+                waitable.discard_callback(callback)
+
+        process._cleanup = cleanup

@@ -10,17 +10,36 @@ while all channels are busy *waits* -- that wait is exactly the paper's
 "blocked process" signal, which :class:`StorageDevice` records per request
 so benchmarks can bucket it per minute.
 
-The model is analytic (no coroutines): given the arrival time from the
-simulation clock, completion time follows from channel state.  This
-reproduces queueing delay, utilization, and blocked counts deterministically.
+The model has two engines.  The *analytic* engine (the default) needs no
+coroutines: given the arrival time from the simulation clock, completion
+time follows from channel state.  Attaching a device to a
+:class:`~repro.sim.kernel.Kernel` (:meth:`StorageDevice.attach_kernel`)
+switches reads and writes issued under deferred-I/O collection to the
+*kernel* engine: the device becomes a FIFO :class:`~repro.sim.kernel.
+Resource` of ``channels`` slots, requesting processes genuinely block in
+its queue, waits are measured from live occupancy, and a cancelled
+request accounts the bytes its partial transfer wasted.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
+from repro.obs.tracer import current_tracer
 from repro.sim.clock import Clock, SimClock
+from repro.sim.kernel import (
+    Cancelled,
+    Timeout,
+    charge_wasted_bytes,
+    defer_io,
+    io_collection_active,
+)
+
+if TYPE_CHECKING:
+    from repro.core.metrics import MetricsRegistry
+    from repro.sim.kernel import Kernel, Resource
 
 
 @dataclass(frozen=True, slots=True)
@@ -115,6 +134,10 @@ class DeviceStats:
     blocked_requests: int = 0
     total_wait: float = 0.0
     busy_time: float = 0.0
+    # kernel mode only: requests abandoned mid-flight (hedge losers,
+    # chaos aborts) and the bytes their partial transfers had moved
+    cancelled_requests: int = 0
+    cancelled_bytes: int = 0
     records: list[RequestRecord] = field(default_factory=list)
 
 
@@ -134,17 +157,44 @@ class StorageDevice:
         *,
         keep_records: bool = True,
         queueing: bool = True,
+        service_bucket: str = "remote",
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         self.profile = profile
         self.clock = clock if clock is not None else SimClock()
         self.stats = DeviceStats()
         self._keep_records = keep_records
         self._queueing = queueing
+        # attribution bucket replayed service time is charged to ("remote"
+        # for a DataNode's HDD, "cache_ssd" for a cache's SSD)
+        self.service_bucket = service_bucket
+        # optional registry for the live device_queue_depth /
+        # blocked_processes gauges (kernel mode)
+        self.metrics = metrics
         # queue wait of the most recent request, for latency attribution
         # (tracing splits a device latency into queueing vs. service time)
         self.last_wait = 0.0
         # min-heap of per-channel next-free timestamps
         self._channel_free: list[float] = [0.0] * profile.channels
+        # kernel engine (attach_kernel): a FIFO resource of `channels` slots
+        self._kernel: "Kernel | None" = None
+        self._resource: "Resource | None" = None
+
+    def attach_kernel(self, kernel: "Kernel") -> "StorageDevice":
+        """Bind the device to an event kernel (enables the queued engine).
+
+        Reads/writes issued under deferred-I/O collection then block at a
+        real FIFO resource instead of consulting analytic channel state.
+        """
+        self._kernel = kernel
+        self._resource = kernel.resource(
+            self.profile.channels, name=f"device/{self.profile.name}"
+        )
+        return self
+
+    @property
+    def kernel_attached(self) -> bool:
+        return self._resource is not None
 
     def _submit(self, size: int, is_read: bool) -> float:
         if size < 0:
@@ -154,6 +204,22 @@ class StorageDevice:
             self.profile.read_bandwidth if is_read else self.profile.write_bandwidth
         )
         service = self.profile.seek_latency + size / bandwidth
+        if self._resource is not None and io_collection_active():
+            # kernel engine: decision-visible counters move at the arrival
+            # instant (synchronous callers may inspect them); the transfer
+            # itself is deferred to the owning process, which experiences
+            # queueing at the device resource.  Timing stats are recorded
+            # at replay from measured waits.
+            stats = self.stats
+            if is_read:
+                stats.reads += 1
+                stats.bytes_read += size
+            else:
+                stats.writes += 1
+                stats.bytes_written += size
+            self.last_wait = 0.0
+            defer_io(lambda: self._transfer_op(size, service, is_read))
+            return 0.0
         if self._queueing:
             free_at = heapq.heappop(self._channel_free)
             start = max(arrival, free_at)
@@ -192,8 +258,98 @@ class StorageDevice:
         """Submit a write of ``size`` bytes at the current time; returns latency."""
         return self._submit(size, is_read=False)
 
+    # -- kernel engine -------------------------------------------------------
+
+    def read_proc(self, size: int):
+        """Process-style read: experiences queueing, returns measured latency."""
+        if self._resource is None:
+            raise RuntimeError("read_proc requires attach_kernel()")
+        self.stats.reads += 1
+        self.stats.bytes_read += size
+        service = self.profile.seek_latency + size / self.profile.read_bandwidth
+        return (yield from self._transfer_op(size, service, is_read=True))
+
+    def write_proc(self, size: int):
+        """Process-style write: experiences queueing, returns measured latency."""
+        if self._resource is None:
+            raise RuntimeError("write_proc requires attach_kernel()")
+        self.stats.writes += 1
+        self.stats.bytes_written += size
+        service = self.profile.seek_latency + size / self.profile.write_bandwidth
+        return (yield from self._transfer_op(size, service, is_read=False))
+
+    def _transfer_op(self, size: int, service: float, is_read: bool):
+        """One replayed transfer: queue at the FIFO resource, then serve.
+
+        Cancellation mid-queue abandons the slot claim; cancellation
+        mid-service accounts the bytes already moved (hedge-loser waste)
+        and charges the partial time so trace attribution stays exact.
+        """
+        tracer = current_tracer()
+        resource = self._resource
+        stats = self.stats
+        span_name = "device_read" if is_read else "device_write"
+        with tracer.span(span_name, actor=self.profile.name, size=size) as span:
+            request = resource.request()
+            self._update_gauges(tracer)
+            arrival = self.clock.now()
+            try:
+                try:
+                    yield request
+                except Cancelled:
+                    span.charge("queueing", self.clock.now() - arrival)
+                    stats.cancelled_requests += 1
+                    raise
+                wait = self.clock.now() - arrival
+                span.charge("queueing", wait)
+                started = self.clock.now()
+                try:
+                    yield Timeout(service)
+                except Cancelled:
+                    served = self.clock.now() - started
+                    span.charge(self.service_bucket, served)
+                    moved = int(size * served / service) if service > 0 else 0
+                    stats.cancelled_requests += 1
+                    stats.cancelled_bytes += moved
+                    stats.busy_time += served
+                    charge_wasted_bytes(moved)
+                    raise
+                span.charge(self.service_bucket, service)
+            finally:
+                resource.release(request)
+                self._update_gauges(tracer)
+        stats.busy_time += service
+        if wait > 0.0:
+            stats.blocked_requests += 1
+            stats.total_wait += wait
+        if self._keep_records:
+            stats.records.append(
+                RequestRecord(arrival=arrival, wait=wait, service=service,
+                              size=size, is_read=is_read)
+            )
+        self.last_wait = wait
+        return wait + service
+
+    def _update_gauges(self, tracer) -> None:
+        if self.metrics is None or self._resource is None:
+            return
+        exemplar = tracer.current_span_id()
+        self.metrics.gauge("device_queue_depth").set(
+            self._resource.queue_depth, exemplar=exemplar
+        )
+        self.metrics.gauge("blocked_processes").set(
+            self._resource.waiting, exemplar=exemplar
+        )
+
     def queue_depth(self) -> int:
-        """Requests currently in flight or waiting (at the clock's now)."""
+        """Requests currently in flight or waiting (at the clock's now).
+
+        With a kernel attached this is *live* occupancy -- processes in
+        service plus processes blocked in the resource's FIFO -- rather
+        than a projection from analytic channel state.
+        """
+        if self._resource is not None:
+            return self._resource.queue_depth
         now = self.clock.now()
         return sum(1 for free_at in self._channel_free if free_at > now)
 

@@ -25,6 +25,13 @@ from repro.errors import (
 )
 from repro.obs.tracer import current_tracer
 from repro.sim.clock import Clock, SimClock
+from repro.sim.kernel import (
+    Cancelled,
+    Timeout,
+    charge_wasted_bytes,
+    defer_io,
+    io_collection_active,
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -89,6 +96,22 @@ class ObjectStore:
         self.chaos_failures = 0
         self.chaos_corruptions = 0
         self.chaos_delays = 0
+        # kernel mode: optional cap on concurrent in-flight GETs (a
+        # connection pool); None = unbounded, requests only pay latency
+        self._connections = None
+
+    def attach_kernel(self, kernel, *, max_concurrent_requests: int | None = None) -> "ObjectStore":
+        """Bind to an event kernel; optionally bound in-flight requests.
+
+        With a bound, replayed GETs queue FIFO at a connection resource so
+        a burst of concurrent scans *experiences* head-of-line blocking at
+        the store, not just token-bucket latency.
+        """
+        if max_concurrent_requests is not None:
+            self._connections = kernel.resource(
+                max_concurrent_requests, name="object-store/connections"
+            )
+        return self
 
     # -- namespace -----------------------------------------------------------
 
@@ -113,7 +136,16 @@ class ObjectStore:
     # -- data path --------------------------------------------------------------
 
     def get_range(self, name: str, offset: int, length: int) -> tuple[bytes, float]:
-        """Ranged GET; returns ``(data, latency_seconds)``."""
+        """Ranged GET; returns ``(data, latency_seconds)``.
+
+        Under deferred-I/O collection the throttle decision (token-bucket
+        state) and chaos dice still resolve at the arrival instant --
+        identically to analytic mode -- but the transfer time is deferred:
+        a replay operation is appended to the active plan and the reported
+        latency is 0.  The owning process then *experiences* the throttle
+        wait and streaming time (and any connection-pool queueing) when it
+        replays the plan.
+        """
         try:
             payload = self._objects[name]
         except KeyError:
@@ -121,9 +153,62 @@ class ObjectStore:
         data = payload[offset : offset + length]
         latency = self._request_latency(len(data))
         self.request_count += 1
+        if io_collection_active():
+            throttle_wait = self.last_throttle_wait
+            # chaos may raise; the wasted attempt's transfer op was not
+            # yet deferred, matching the analytic path where a failed GET
+            # contributes no latency (the retry's backoff does).
+            latency = self._apply_chaos(name, latency)
+            self.bytes_served += len(data)
+            defer_io(
+                lambda: self._transfer_op(name, len(data), latency, throttle_wait)
+            )
+            # zero the side channel: the sync caller must not charge a
+            # wait the replay op will charge from measurement
+            self.last_throttle_wait = 0.0
+            return data, 0.0
         latency = self._apply_chaos(name, latency)
         self.bytes_served += len(data)
         return data, latency
+
+    def _transfer_op(self, name: str, nbytes: int, latency: float, throttle_wait: float):
+        """Replay one GET: queue for a connection, wait out throttle + stream."""
+        tracer = current_tracer()
+        began = self.clock.now()
+        with tracer.span("object_store_get", actor="object-store", object=name) as span:
+            request = self._connections.request() if self._connections is not None else None
+            try:
+                queued = self.clock.now()
+                if request is not None:
+                    try:
+                        yield request
+                    except Cancelled:
+                        span.charge("queueing", self.clock.now() - queued)
+                        raise
+                    span.charge("queueing", self.clock.now() - queued)
+                if throttle_wait > 0.0:
+                    started = self.clock.now()
+                    try:
+                        yield Timeout(throttle_wait)
+                    except Cancelled:
+                        span.charge("queueing", self.clock.now() - started)
+                        raise
+                    span.charge("queueing", throttle_wait)
+                transfer = max(0.0, latency - throttle_wait)
+                started = self.clock.now()
+                try:
+                    yield Timeout(transfer)
+                except Cancelled:
+                    moved = self.clock.now() - started
+                    span.charge("remote", moved)
+                    if transfer > 0:
+                        charge_wasted_bytes(int(nbytes * moved / transfer))
+                    raise
+                span.charge("remote", transfer)
+            finally:
+                if request is not None:
+                    self._connections.release(request)
+        return self.clock.now() - began
 
     def set_chaos(self, state, rng) -> None:
         """Arm (or, with an inactive state, disarm) request-level faults."""

@@ -13,6 +13,15 @@ from dataclasses import dataclass
 from typing import Protocol, runtime_checkable
 
 from repro.errors import FileNotFoundInStorageError
+from repro.obs.tracer import current_tracer
+from repro.sim.kernel import (
+    Cancelled,
+    Timeout,
+    charge_wasted_bytes,
+    current_kernel,
+    defer_io,
+    io_collection_active,
+)
 from repro.storage.object_store import ObjectStore
 
 
@@ -22,6 +31,32 @@ class ReadResult:
 
     data: bytes
     latency: float
+
+
+def _remote_transfer_op(actor: str, nbytes: int, latency: float):
+    """Build a replay op experiencing a remote transfer of ``latency`` s.
+
+    Cancellation mid-transfer charges the partial time and accounts the
+    bytes already streamed as wasted (the hedge-loser signal).
+    """
+
+    def op():
+        tracer = current_tracer()
+        clock = current_kernel().clock
+        with tracer.span("remote_read", actor=actor, size=nbytes) as span:
+            started = clock.now()
+            try:
+                yield Timeout(latency)
+            except Cancelled:
+                moved = clock.now() - started
+                span.charge("remote", moved)
+                if latency > 0:
+                    charge_wasted_bytes(int(nbytes * moved / latency))
+                raise
+            span.charge("remote", latency)
+        return latency
+
+    return op
 
 
 @runtime_checkable
@@ -85,6 +120,9 @@ class SyntheticDataSource:
         self.request_count += 1
         self.bytes_served += len(data)
         latency = self.base_latency + len(data) / self.bandwidth
+        if io_collection_active():
+            defer_io(_remote_transfer_op("synthetic-source", len(data), latency))
+            return ReadResult(data=data, latency=0.0)
         return ReadResult(data=data, latency=latency)
 
     def _generate(self, file_id: str, offset: int, length: int) -> bytes:
@@ -139,6 +177,9 @@ class NullDataSource:
         self.request_count += 1
         self.bytes_served += size
         latency = self.base_latency + size / self.bandwidth
+        if io_collection_active():
+            defer_io(_remote_transfer_op("null-source", size, latency))
+            return ReadResult(data=b"\x00" * size, latency=0.0)
         return ReadResult(data=b"\x00" * size, latency=latency)
 
 

@@ -204,5 +204,5 @@ class TestCli:
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
         for rule_id in ("DET001", "DET002", "DET003", "ERR001",
-                        "MET001", "SIM001", "API001", "LOG001"):
+                        "MET001", "SIM001", "SIM002", "API001", "LOG001"):
             assert rule_id in out

@@ -8,6 +8,7 @@ import pytest
 from repro.devtools.rules import (
     AccountedExceptRule,
     MetricNameRule,
+    NoClockAdvanceRule,
     NoMutableDefaultRule,
     NoPrintRule,
     NoWallClockRule,
@@ -175,6 +176,35 @@ class TestSIM001SimPurity:
     def test_method_named_open_clean(self):
         code = "handle = store.open('x.bin')"
         assert run_rule(SimPurityRule(), code) == []
+
+
+class TestSIM002NoClockAdvance:
+    DOMAIN_PATH = "src/repro/storage/device.py"
+
+    @pytest.mark.parametrize("snippet", [
+        "self.clock.advance(1.0)",
+        "clock.advance_to(deadline)",
+        "setup.clock.advance(0.5)",
+    ])
+    def test_flags_clock_advance_in_domain_code(self, snippet):
+        findings = run_rule(NoClockAdvanceRule(), snippet, path=self.DOMAIN_PATH)
+        assert len(findings) == 1
+        assert findings[0].rule_id == "SIM002"
+        assert "advances the virtual clock" in findings[0].message
+        assert "Timeout" in findings[0].hint
+
+    def test_reading_now_is_clean(self):
+        code = "start = clock.now()\nwait = clock.now() - start\n"
+        assert run_rule(NoClockAdvanceRule(), code, path=self.DOMAIN_PATH) == []
+
+    def test_scope_covers_the_three_domain_packages(self):
+        rule = NoClockAdvanceRule()
+        assert rule.include == (
+            "src/repro/presto", "src/repro/storage", "src/repro/hdfs_cache"
+        )
+        # harnesses and the sim package itself stay free to drive time
+        for prefix in ("benchmarks", "tests", "src/repro/sim"):
+            assert not any(inc.startswith(prefix) for inc in rule.include)
 
 
 class TestAPI001MutableDefaults:

@@ -1,0 +1,111 @@
+"""Analytic vs. kernel engine equivalence under zero contention.
+
+The deferred-I/O design guarantees that every *decision* (cache admission,
+eviction, rate-limit windows, chaos dice) resolves at the arrival instant
+identically in both engines; timing diverges only when requests overlap.
+So a trace with no overlapping requests must produce the same hit ratio
+(exactly) and the same mean latency (within 2%) in both modes.
+"""
+
+import pytest
+
+from repro.core.admission import BucketTimeRateLimit
+from repro.hdfs_cache import CachedDataNode
+from repro.sim.clock import SimClock
+from repro.sim.kernel import Kernel, SimMode, Timeout
+from repro.sim.rng import RngStream
+from repro.storage.device import DeviceProfile, StorageDevice
+from repro.storage.hdfs import Block, BlockId, DataNode
+from repro.workload.zipf import ZipfSampler
+
+KIB = 1024
+BLOCK_SIZE = 32 * KIB
+N_BLOCKS = 120
+N_READS = 400
+# arrivals spaced far beyond any single read's latency: zero contention
+SPACING = 10.0
+
+HDD = DeviceProfile(
+    name="eq-hdd", read_bandwidth=60e6, write_bandwidth=50e6,
+    seek_latency=0.020, channels=1,
+)
+
+
+def build(mode: SimMode):
+    clock = SimClock()
+    device = StorageDevice(HDD, clock)
+    datanode = DataNode("dn-eq", device=device, clock=clock)
+    payload = b"\x5a" * BLOCK_SIZE
+    for block_id in range(N_BLOCKS):
+        datanode.store_block(Block(identity=BlockId(block_id, 1), data=payload))
+    clock.advance(3600.0)
+    device.reset_stats()
+    cached = CachedDataNode(
+        datanode,
+        clock=clock,
+        cache_capacity_bytes=2 * 1024 * KIB,
+        page_size=64 * KIB,
+        rate_limiter=BucketTimeRateLimit(threshold=2, window_buckets=10),
+    )
+    kernel = None
+    if mode is SimMode.KERNEL:
+        kernel = Kernel(clock)
+        cached.attach_kernel(kernel)
+    return clock, cached, kernel
+
+
+def trace(seed=21):
+    rng = RngStream(seed, "equivalence")
+    sampler = ZipfSampler(N_BLOCKS, 1.1, rng.child("blocks"))
+    blocks = sampler.sample(N_READS)
+    sizes = rng.child("sizes").rng.integers(4 * KIB, BLOCK_SIZE, size=N_READS)
+    return [(int(b), int(s)) for b, s in zip(blocks, sizes)]
+
+
+def run_analytic():
+    clock, cached, _ = build(SimMode.ANALYTIC)
+    latencies, hits = [], 0
+    for block_id, size in trace():
+        clock.advance(SPACING)
+        result = cached.read_block(BlockId(block_id, 1), 0, size)
+        latencies.append(result.latency)
+        hits += bool(result.from_cache)
+    return latencies, hits
+
+
+def run_kernel():
+    clock, cached, kernel = build(SimMode.KERNEL)
+    latencies, hits = [], 0
+
+    def driver():
+        for block_id, size in trace():
+            yield Timeout(SPACING)
+            result = yield from cached.read_block_proc(
+                BlockId(block_id, 1), 0, size
+            )
+            latencies.append(result.latency)
+            nonlocal_hits[0] += bool(result.from_cache)
+
+    nonlocal_hits = [0]
+    kernel.spawn(driver())
+    kernel.run()
+    return latencies, nonlocal_hits[0]
+
+
+class TestModeEquivalence:
+    def test_hit_ratio_and_mean_latency_agree(self):
+        analytic_lat, analytic_hits = run_analytic()
+        kernel_lat, kernel_hits = run_kernel()
+        assert len(analytic_lat) == len(kernel_lat) == N_READS
+        # decisions are identical: hit counts match exactly
+        assert analytic_hits == kernel_hits
+        assert analytic_hits > 0
+        mean_analytic = sum(analytic_lat) / N_READS
+        mean_kernel = sum(kernel_lat) / N_READS
+        assert mean_kernel == pytest.approx(mean_analytic, rel=0.02)
+
+    def test_per_read_latencies_agree_without_contention(self):
+        analytic_lat, _ = run_analytic()
+        kernel_lat, _ = run_kernel()
+        for index, (a, k) in enumerate(zip(analytic_lat, kernel_lat)):
+            assert k == pytest.approx(a, rel=0.02, abs=1e-9), index
