@@ -9,6 +9,7 @@ output survives pytest's capture, and asserts the *shape* of the result
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 REPORT_DIR = Path(__file__).resolve().parent.parent / "bench_reports"
@@ -20,6 +21,18 @@ def emit_report(name: str, text: str) -> None:
     print(text)
     REPORT_DIR.mkdir(exist_ok=True)
     (REPORT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def emit_json(name: str, payload: dict) -> None:
+    """Persist a machine-readable artifact as ``bench_reports/<name>.json``.
+
+    Keys are sorted and floats should be pre-rounded by the caller so the
+    file is byte-stable across runs (CI diffs it against the committed
+    seed)."""
+    REPORT_DIR.mkdir(exist_ok=True)
+    (REPORT_DIR / f"{name}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
 
 
 def pct(fraction: float) -> str:

@@ -1,0 +1,143 @@
+"""Coordinator admission control: bounded queue, shed, degrade-to-remote.
+
+Under churn a cluster loses capacity exactly when re-warming makes every
+miss expensive; unbounded admission converts that into a queue explosion
+where *every* query's latency blows up.  The controller in front of
+:meth:`~repro.presto.coordinator.Coordinator.run_concurrent_kernel` applies
+the classic overload ladder instead:
+
+1. **admit** -- a concurrency slot is free: run now;
+2. **queue** -- all slots busy but the wait queue is shallower than
+   ``max_queue_depth``: block (the wait is charged to the query's
+   ``queueing`` bucket);
+3. **degrade** -- admitted, but live split occupancy is above
+   ``degrade_occupancy`` of capacity: run with ``bypass_cache`` so the
+   query streams from remote instead of competing for the thrashing
+   cache (the paper's Section 6.1.2 fallback, applied cluster-wide);
+4. **shed** -- the queue is full: reject immediately rather than time out
+   slowly.
+
+Slots are a kernel :class:`~repro.sim.kernel.Resource`, so queue order is
+the kernel's deterministic FIFO and waits are lived in virtual time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.metrics import MetricsRegistry
+from repro.sim.kernel import Kernel, Request
+
+
+@dataclass(slots=True)
+class AdmissionTicket:
+    """One admitted (possibly queued) query's claim on a concurrency slot.
+
+    Yield ``ticket.request`` from the owning process when ``queued`` is
+    True; pass the ticket back to :meth:`AdmissionController.release` in a
+    ``finally`` block.
+    """
+
+    request: Request
+    queued: bool
+    degraded: bool
+
+
+class AdmissionController:
+    """Bounded-concurrency admission with load shedding and degrade mode.
+
+    Args:
+        kernel: the event kernel whose resource FIFO orders the queue.
+        max_concurrent: queries allowed to run simultaneously.
+        max_queue_depth: queries allowed to *wait*; beyond this, shed.
+        degrade_occupancy: fraction of ``occupancy_capacity`` above which
+            admitted queries are told to bypass the cache (0 disables
+            degrading only if ``occupancy_fn`` is None).
+        occupancy_fn: returns the live backpressure signal -- typically
+            the coordinator's summed in-flight split count.
+        occupancy_capacity: the value of ``occupancy_fn()`` that counts as
+            "full" (e.g. workers x worker_concurrency).
+        metrics: registry for the admission counters.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        *,
+        max_concurrent: int,
+        max_queue_depth: int,
+        degrade_occupancy: float = 0.85,
+        occupancy_fn: Callable[[], int] | None = None,
+        occupancy_capacity: int = 0,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if max_concurrent <= 0:
+            raise ValueError(
+                f"max_concurrent must be positive, got {max_concurrent}"
+            )
+        if max_queue_depth < 0:
+            raise ValueError(
+                f"max_queue_depth must be >= 0, got {max_queue_depth}"
+            )
+        if not 0 <= degrade_occupancy <= 1:
+            raise ValueError(
+                f"degrade_occupancy must be in [0, 1], got {degrade_occupancy}"
+            )
+        self.kernel = kernel
+        self.max_concurrent = max_concurrent
+        self.max_queue_depth = max_queue_depth
+        self.degrade_occupancy = degrade_occupancy
+        self.occupancy_fn = occupancy_fn
+        self.occupancy_capacity = occupancy_capacity
+        self.metrics = metrics if metrics is not None else MetricsRegistry(
+            "admission_control"
+        )
+        self.slots = kernel.resource(max_concurrent, name="admission_slots")
+
+    # -- decisions -----------------------------------------------------------
+
+    def _over_occupancy(self) -> bool:
+        if self.occupancy_fn is None or self.occupancy_capacity <= 0:
+            return False
+        return (
+            self.occupancy_fn()
+            >= self.degrade_occupancy * self.occupancy_capacity
+        )
+
+    def admit(self) -> AdmissionTicket | None:
+        """Decide one arriving query's fate; ``None`` means shed.
+
+        Synchronous: the decision is taken at the arrival instant from the
+        live queue depth.  When the returned ticket's ``queued`` flag is
+        set, the caller must ``yield ticket.request`` before running.
+        """
+        would_queue = self.slots.in_use >= self.max_concurrent
+        if would_queue and self.slots.waiting >= self.max_queue_depth:
+            self.metrics.counter("queries_shed").inc()
+            return None
+        request = self.slots.request()
+        queued = not request.triggered
+        if queued:
+            self.metrics.counter("queries_queued").inc()
+        degraded = self._over_occupancy()
+        if degraded:
+            self.metrics.counter("queries_degraded").inc()
+        self.metrics.counter("queries_admitted").inc()
+        self.metrics.gauge("admission_queue_depth").set(self.slots.waiting)
+        return AdmissionTicket(request=request, queued=queued, degraded=degraded)
+
+    def release(self, ticket: AdmissionTicket) -> None:
+        """Return the slot; wakes the next queued query in FIFO order."""
+        self.slots.release(ticket.request)
+        self.metrics.gauge("admission_queue_depth").set(self.slots.waiting)
+
+    # -- reporting -----------------------------------------------------------
+
+    def summary(self) -> dict[str, int]:
+        return {
+            "admitted": self.metrics.counter("queries_admitted").value,
+            "queued": self.metrics.counter("queries_queued").value,
+            "degraded": self.metrics.counter("queries_degraded").value,
+            "shed": self.metrics.counter("queries_shed").value,
+        }

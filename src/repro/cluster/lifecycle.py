@@ -1,0 +1,140 @@
+"""The cluster lifecycle API: the only sanctioned way to change membership.
+
+:class:`ClusterLifecycle` glues the pieces of a running Presto cluster
+together so one call does the whole transition correctly:
+
+- the **membership** record (and through it the hash ring) is updated and
+  the event is counted and timestamped;
+- the **worker** object is failed/recovered/created/retired, including
+  SSD cache loss when the churn scenario says the disk went with the
+  container;
+- the **coordinator**'s live executor pool (when a
+  ``run_concurrent_kernel`` run is active) gains or retires the worker's
+  split channel, failing queued splits over to healthy nodes;
+- the **rebalancer** (optional) warms the caches that just inherited
+  keys;
+- the **health tracker** (optional) hears about the transition so
+  breaker-aware placement reacts immediately instead of timing out.
+
+Domain code must route membership changes through this class (or through
+:class:`~repro.cluster.membership.ClusterMembership` directly, for
+ring-only tests); replint rule CHN001 rejects direct ring mutation from
+``repro.presto``.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.membership import ClusterMembership
+from repro.cluster.rebalance import ShardRebalancer
+from repro.resilience.health import NodeHealthTracker
+from repro.sim.kernel import Kernel
+
+
+class ClusterLifecycle:
+    """Drives node join/leave/crash/restart against a live cluster.
+
+    Args:
+        cluster: a :class:`~repro.presto.coordinator.PrestoCluster` built
+            with a ``membership`` (any object with the same surface works;
+            the lifecycle only touches ``membership``, ``workers``,
+            ``worker_factory``, and ``coordinator``).
+        kernel: the event kernel warmup processes run on.
+        rebalancer: warms remapped keys; ``None`` means lazy warmup only.
+        health: breaker board to notify about transitions.
+    """
+
+    def __init__(
+        self,
+        cluster,
+        *,
+        kernel: Kernel,
+        rebalancer: ShardRebalancer | None = None,
+        health: NodeHealthTracker | None = None,
+    ) -> None:
+        if cluster.membership is None:
+            raise ValueError(
+                "cluster has no membership record; build it with "
+                "PrestoCluster.create (which owns the ring through "
+                "ClusterMembership)"
+            )
+        self.cluster = cluster
+        self.kernel = kernel
+        self.rebalancer = rebalancer
+        self.health = health
+        # workers whose SSD contents were lost with the crash: a restore
+        # of one of these re-warms, a warm-cache restore does not
+        self._cold: set[str] = set()
+
+    @property
+    def membership(self) -> ClusterMembership:
+        return self.cluster.membership
+
+    # -- helpers -------------------------------------------------------------
+
+    def _warm(self, moved: list[tuple[str, str | None, str | None]]) -> None:
+        if self.rebalancer is not None and moved:
+            self.rebalancer.rebalance(self.kernel, moved, self.cluster.workers)
+
+    # -- transitions ---------------------------------------------------------
+
+    def add_worker(self, name: str):
+        """Provision a new worker and join it to the ring (autoscale-up)."""
+        if name in self.cluster.workers:
+            raise ValueError(f"worker {name!r} already exists")
+        if self.cluster.worker_factory is None:
+            raise ValueError(
+                "cluster has no worker_factory; PrestoCluster.create "
+                "records one for lifecycle-driven scale-out"
+            )
+        worker = self.cluster.worker_factory(name)
+        worker.attach_kernel(self.kernel)
+        self.cluster.workers[name] = worker
+        self.cluster.coordinator.add_worker(worker)
+        moved = self.membership.join(name)
+        self._warm(moved)
+        return worker
+
+    def crash(self, name: str, *, lose_cache: bool = False) -> None:
+        """The node died.  Its ring seat survives for the offline timeout;
+        keys fall through to the next live nodes, which get warmed."""
+        worker = self.cluster.workers[name]
+        worker.fail()
+        if lose_cache and worker.cache is not None:
+            worker.wipe_cache()
+            self._cold.add(name)
+        if self.health is not None:
+            self.health.record_failure(name)
+        moved = self.membership.crash(name)
+        self._warm(moved)
+
+    def restart(self, name: str) -> None:
+        """The node is back.  Within the offline timeout its keys map
+        straight back; the cache is only re-warmed if it was lost."""
+        worker = self.cluster.workers[name]
+        worker.recover()
+        if self.health is not None:
+            self.health.record_success(name)
+        moved = self.membership.restore(name)
+        if name in self._cold:
+            self._cold.discard(name)
+            self._warm(moved)
+
+    def decommission(self, name: str) -> None:
+        """Operator-initiated permanent leave: queued splits fail over,
+        the seat goes away now, successor caches get warmed."""
+        moved = self.membership.leave(name)
+        self.cluster.coordinator.remove_worker(name)
+        self.cluster.workers.pop(name, None)
+        self._cold.discard(name)
+        self._warm(moved)
+
+    def expire_tick(self) -> list[str]:
+        """Evict nodes offline past the timeout (the driver's periodic
+        tick).  Keys already fell through at crash time, so expiry mostly
+        confirms the status quo; any residual remaps warm lazily."""
+        expired = self.membership.expire()
+        for name in expired:
+            self.cluster.coordinator.remove_worker(name)
+            self.cluster.workers.pop(name, None)
+            self._cold.discard(name)
+        return expired

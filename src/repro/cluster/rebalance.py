@@ -1,0 +1,161 @@
+"""Shard rebalancing: cold-cache warmup when key ownership changes.
+
+A membership change moves keys to workers that never cached them; until
+those caches warm, every read is a remote miss and the cluster hit ratio
+craters (the recovery dip the churn soak measures).  The rebalancer turns
+the remap report from :class:`~repro.cluster.membership.ClusterMembership`
+into background warmup work on the event kernel:
+
+- ``none``     -- lazy warmup only: the first queries pay the misses.
+- ``prefetch`` -- the new owner pre-loads each remapped file from remote
+  (the paper's TPC-DS "data is pre-loaded" protocol), experiencing real
+  device/remote queueing via deferred-IO replay.
+- ``migrate``  -- pages still resident on the old owner are copied
+  directly (cache-to-cache transfer at ``migration_bandwidth``), falling
+  back to a remote prefetch for files the old owner no longer holds.
+
+Warmup runs as ordinary kernel processes, so it *competes* with query
+traffic for the same devices -- warming is not free, which is exactly the
+trade-off the admission controller exists to manage.
+"""
+
+from __future__ import annotations
+
+from repro.core.metrics import MetricsRegistry
+from repro.sim.kernel import Kernel, Process, Timeout, collecting_io, replay_plan
+
+_STRATEGIES = ("none", "prefetch", "migrate")
+
+
+class ShardRebalancer:
+    """Spawns warmup processes for keys that changed primary owner.
+
+    Args:
+        strategy: one of ``none`` / ``prefetch`` / ``migrate``.
+        migration_bandwidth: bytes/second for cache-to-cache page copies.
+        max_keys_per_event: warmup fan-out cap per membership event; keys
+            beyond it stay cold (counted in ``warmup_skipped_keys`` -- no
+            silent truncation).
+        metrics: registry for the warmup counters.
+    """
+
+    def __init__(
+        self,
+        *,
+        strategy: str = "prefetch",
+        migration_bandwidth: float = 1.25e9,
+        max_keys_per_event: int = 256,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if strategy not in _STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; choose one of {_STRATEGIES}"
+            )
+        if migration_bandwidth <= 0:
+            raise ValueError(
+                f"migration_bandwidth must be positive, got {migration_bandwidth}"
+            )
+        if max_keys_per_event <= 0:
+            raise ValueError(
+                f"max_keys_per_event must be positive, got {max_keys_per_event}"
+            )
+        self.strategy = strategy
+        self.migration_bandwidth = migration_bandwidth
+        self.max_keys_per_event = max_keys_per_event
+        self.metrics = metrics if metrics is not None else MetricsRegistry(
+            "rebalance"
+        )
+
+    # -- entry point ---------------------------------------------------------
+
+    def rebalance(
+        self,
+        kernel: Kernel,
+        moved: list[tuple[str, str | None, str | None]],
+        workers: dict,
+    ) -> list[Process]:
+        """Spawn warmup processes for one membership event's remapped keys.
+
+        ``moved`` is the ``(key, old_owner, new_owner)`` report of a
+        membership mutation; ``workers`` maps node name to
+        :class:`~repro.presto.worker.Worker`.  Returns the spawned
+        processes (empty for strategy ``none``).
+        """
+        if self.strategy == "none" or not moved:
+            return []
+        eligible = [
+            (key, old, new)
+            for key, old, new in moved
+            if new is not None
+            and new in workers
+            and getattr(workers[new], "online", True)
+            and workers[new].cache is not None
+        ]
+        batch = eligible[: self.max_keys_per_event]
+        skipped = len(eligible) - len(batch)
+        if skipped > 0:
+            self.metrics.counter("warmup_skipped_keys").inc(skipped)
+        spawned: list[Process] = []
+        for key, old, new in batch:
+            old_worker = workers.get(old) if old is not None else None
+            if (
+                self.strategy == "migrate"
+                and old_worker is not None
+                and old_worker.cache is not None
+                and old_worker.cache.metastore.pages_of_file(key)
+            ):
+                gen = self._migrate_proc(old_worker, workers[new], key)
+            else:
+                gen = self._prefetch_proc(workers[new], key)
+            spawned.append(kernel.spawn(gen, name=f"warmup/{new}/{key}"))
+        return spawned
+
+    # -- warmup processes ----------------------------------------------------
+
+    def _prefetch_proc(self, worker, file_id: str):
+        """Pre-load one file from remote into the new owner's cache."""
+        plan: list = []
+        try:
+            with collecting_io(plan):
+                resident = worker.cache.prefetch_file(file_id, worker.source)
+        except ConnectionError as exc:
+            # the new owner crashed between remap and warmup: stay cold
+            self.metrics.record_error("prefetch_warmup", exc)
+            return 0
+        yield from replay_plan(plan)
+        self.metrics.counter("warmup_files").inc()
+        self.metrics.counter("warmup_bytes").inc(
+            int(worker.source.file_length(file_id))
+        )
+        return resident
+
+    def _migrate_proc(self, old_worker, new_worker, file_id: str):
+        """Copy resident pages old owner -> new owner, then charge the wire.
+
+        Payloads are re-materialized at the destination (the simulators'
+        sources are content-deterministic), and the transfer itself costs
+        ``bytes / migration_bandwidth`` seconds of virtual time on top of
+        the destination's SSD write queueing.
+        """
+        infos = sorted(
+            old_worker.cache.metastore.pages_of_file(file_id),
+            key=lambda info: info.page_id.page_index,
+        )
+        plan: list = []
+        total_bytes = 0
+        copied = 0
+        with collecting_io(plan):
+            for info in infos:
+                if new_worker.cache.put_page(
+                    info.page_id,
+                    bytes(info.size),
+                    pre_admitted=True,
+                ):
+                    copied += 1
+                    total_bytes += info.size
+        yield from replay_plan(plan)
+        if total_bytes > 0:
+            yield Timeout(total_bytes / self.migration_bandwidth)
+        self.metrics.counter("migrated_pages").inc(copied)
+        self.metrics.counter("migrated_bytes").inc(total_bytes)
+        return copied

@@ -1,0 +1,143 @@
+"""Churn SLOs: hit-ratio recovery time and latency degradation windows.
+
+The churn soak's headline numbers come out of here:
+
+- **Recovery time**: after a churn event cools the caches, how long until
+  the windowed cluster hit ratio is back within ``tolerance`` of its
+  pre-churn steady state -- and does it *stay* there (a single lucky
+  window does not count as recovered).
+- **p99 during churn**: per-window latency percentiles split into
+  pre-churn / churn / post-recovery phases, the comparison that shows
+  what admission control buys.
+
+Everything operates on plain ``(window_end_time, value)`` samples so the
+reports are deterministic and sanitizer-comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.percentile import percentile
+
+
+@dataclass(slots=True)
+class RecoveryReport:
+    """Outcome of :func:`hit_ratio_recovery` for one churn event.
+
+    Attributes:
+        baseline: mean windowed hit ratio before the churn started.
+        floor: the worst windowed hit ratio at/after churn start.
+        recovered_at: end time of the first window from which the ratio
+            stays within tolerance of baseline (None if never).
+        recovery_seconds: ``recovered_at - churn_start`` (None if never).
+        windows: the ``(window_end, ratio)`` samples the verdict used.
+    """
+
+    baseline: float
+    floor: float
+    tolerance: float
+    churn_start: float
+    recovered_at: float | None
+    recovery_seconds: float | None
+    windows: list[tuple[float, float]] = field(default_factory=list)
+
+    @property
+    def recovered(self) -> bool:
+        return self.recovered_at is not None
+
+
+def hit_ratio_recovery(
+    windows: list[tuple[float, float]],
+    *,
+    churn_start: float,
+    tolerance: float = 0.05,
+) -> RecoveryReport:
+    """Measure how long the windowed hit ratio took to re-reach baseline.
+
+    Args:
+        windows: ``(window_end_time, hit_ratio)`` samples in time order.
+        churn_start: virtual time the first membership event fired.
+        tolerance: how far below baseline still counts as recovered
+            (absolute ratio points, e.g. 0.05 = within five points).
+
+    The baseline is the mean ratio over windows that ended at or before
+    ``churn_start``; recovery is the first window from which *every*
+    subsequent window holds ``ratio >= baseline - tolerance``.
+    """
+    if not windows:
+        raise ValueError("need at least one hit-ratio window")
+    if not 0 < tolerance < 1:
+        raise ValueError(f"tolerance must be in (0, 1), got {tolerance}")
+    pre = [ratio for end, ratio in windows if end <= churn_start]
+    if not pre:
+        raise ValueError(
+            f"no windows end before churn_start={churn_start}; "
+            "sample at least one steady-state window first"
+        )
+    baseline = sum(pre) / len(pre)
+    post = [(end, ratio) for end, ratio in windows if end > churn_start]
+    floor = min((ratio for __, ratio in post), default=baseline)
+    recovered_at: float | None = None
+    # walk backwards: the recovery point is the earliest window after
+    # which the ratio never dips back out of tolerance
+    for end, ratio in reversed(post):
+        if ratio >= baseline - tolerance:
+            recovered_at = end
+        else:
+            break
+    return RecoveryReport(
+        baseline=baseline,
+        floor=floor,
+        tolerance=tolerance,
+        churn_start=churn_start,
+        recovered_at=recovered_at,
+        recovery_seconds=(
+            recovered_at - churn_start if recovered_at is not None else None
+        ),
+        windows=list(windows),
+    )
+
+
+@dataclass(slots=True)
+class PhasePercentiles:
+    """Latency percentiles for the three phases around a churn window."""
+
+    pre: float
+    churn: float
+    post: float
+    pre_count: int
+    churn_count: int
+    post_count: int
+
+
+def phase_p99(
+    samples: list[tuple[float, float]],
+    *,
+    churn_start: float,
+    churn_end: float,
+    q: float = 99.0,
+) -> PhasePercentiles:
+    """Split ``(completion_time, latency)`` samples into pre / churn /
+    post phases and report the ``q``-th percentile of each.
+
+    ``churn`` covers completions in ``[churn_start, churn_end)``; the
+    comparison the soak asserts is churn-phase p99 with admission control
+    on versus off.
+    """
+    if churn_end <= churn_start:
+        raise ValueError(
+            f"churn_end must be after churn_start, got "
+            f"[{churn_start}, {churn_end})"
+        )
+    pre = [lat for t, lat in samples if t < churn_start]
+    mid = [lat for t, lat in samples if churn_start <= t < churn_end]
+    post = [lat for t, lat in samples if t >= churn_end]
+    return PhasePercentiles(
+        pre=percentile(pre, q),
+        churn=percentile(mid, q),
+        post=percentile(post, q),
+        pre_count=len(pre),
+        churn_count=len(mid),
+        post_count=len(post),
+    )

@@ -650,6 +650,50 @@ class SpanLifecycleRule(Rule):
                 )
 
 
+_RING_MUTATORS = {
+    "add_node", "remove_node", "mark_offline", "mark_online", "evict_expired",
+}
+
+
+class RingMutationRule(Rule):
+    """CHN001: presto domain code never mutates the hash ring directly.
+
+    Every membership change must flow through the cluster lifecycle API
+    (:class:`repro.cluster.membership.ClusterMembership` /
+    :class:`repro.cluster.lifecycle.ClusterLifecycle`) so the event is
+    counted, timestamped on the virtual clock, measured for remapped
+    keys, and propagated to the live executor pool.  A direct
+    ``ring.add_node(...)`` from coordinator/scheduler code silently skips
+    all of that -- the churn metrics under-report and warmup never fires.
+    """
+
+    rule_id = "CHN001"
+    description = (
+        "no direct ring mutation in repro.presto; membership changes go "
+        "through the cluster lifecycle API"
+    )
+    include = ("src/repro/presto",)
+    allow = (
+        "src/repro/presto/hashring.py",  # the ring implementation itself
+    )
+
+    def check(self, tree, path, lines):
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in _RING_MUTATORS:
+                yield self.finding(
+                    path, node,
+                    f"direct ring mutation `.{func.attr}(...)` in presto "
+                    "domain code",
+                    "route the membership change through ClusterMembership "
+                    "/ ClusterLifecycle (repro.cluster) so metrics, events, "
+                    "and warmup stay complete",
+                    lines,
+                )
+
+
 def default_rules() -> list[Rule]:
     """Fresh instances of every rule (MET001 carries cross-file state)."""
     return [
@@ -663,6 +707,7 @@ def default_rules() -> list[Rule]:
         NoMutableDefaultRule(),
         NoPrintRule(),
         SpanLifecycleRule(),
+        RingMutationRule(),
     ]
 
 
@@ -677,4 +722,5 @@ ALL_RULES: tuple[type[Rule], ...] = (
     NoMutableDefaultRule,
     NoPrintRule,
     SpanLifecycleRule,
+    RingMutationRule,
 )

@@ -64,7 +64,9 @@ class DistributedCacheClient:
         self.hedge = hedge
         self.metrics = metrics if metrics is not None else MetricsRegistry("tier-client")
         self._workers = {w.name: w for w in workers}
-        self.ring = ConsistentHashRing(offline_timeout=offline_timeout)
+        self.ring = ConsistentHashRing(
+            offline_timeout=offline_timeout, clock=self.clock
+        )
         for worker in workers:
             self.ring.add_node(worker.name)
         self.reads = 0

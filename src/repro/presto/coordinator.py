@@ -16,6 +16,7 @@ aggregations) is charged on top.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
 
 from repro.core.admission.base import AdmissionPolicy
 from repro.core.metrics import MetricsRegistry
@@ -35,27 +36,41 @@ from repro.sim.rng import RngStream
 from repro.presto.query import QueryProfile
 from repro.storage.remote import DataSource
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.cluster.membership import ClusterMembership
+
 
 @dataclass(slots=True)
 class QueryResult:
-    """Outcome of one query execution."""
+    """Outcome of one query execution.
+
+    ``shed`` marks a query the admission controller rejected outright
+    (no execution, no latency recorded); ``degraded`` marks one that ran
+    with cluster-wide cache bypass under overload.
+    """
 
     query_id: str
     wall_seconds: float
     stats: QueryRuntimeStats
+    shed: bool = False
+    degraded: bool = False
 
 
 @dataclass(slots=True)
 class PrestoCluster:
-    """A coordinator plus its workers, ring, and scheduler.
+    """A coordinator plus its workers, membership record, and scheduler.
 
     Build with :meth:`create`, then run queries through
-    :attr:`coordinator`.
+    :attr:`coordinator`.  ``ring`` is the membership's hash ring (kept as
+    a field for read-path consumers; mutate membership, never the ring --
+    replint CHN001).
     """
 
     coordinator: "Coordinator"
     workers: dict[str, Worker]
     ring: ConsistentHashRing
+    membership: "ClusterMembership | None" = None
+    worker_factory: "Callable[[str], Worker] | None" = None
 
     @classmethod
     def create(
@@ -77,16 +92,26 @@ class PrestoCluster:
         clock: SimClock | None = None,
         seed: int = 0,
         health: NodeHealthTracker | None = None,
+        virtual_nodes: int = 64,
+        offline_timeout: float = 600.0,
     ) -> "PrestoCluster":
+        # Runtime import: cluster.membership imports the hash ring from this
+        # package, so a module-level import here would be circular.
+        from repro.cluster.membership import ClusterMembership
+
         clock = clock if clock is not None else SimClock()
-        workers: dict[str, Worker] = {}
-        ring = ConsistentHashRing()
-        for index in range(n_workers):
-            name = f"worker-{index}"
+        membership = ClusterMembership(
+            virtual_nodes=virtual_nodes,
+            offline_timeout=offline_timeout,
+            clock=clock,
+        )
+        ring = membership.ring
+
+        def worker_factory(name: str) -> Worker:
             admission: AdmissionPolicy | None = (
                 admission_factory() if admission_factory is not None else None
             )
-            workers[name] = Worker(
+            return Worker(
                 name,
                 source,
                 cache_capacity_bytes=cache_capacity_bytes,
@@ -96,7 +121,12 @@ class PrestoCluster:
                 cache_enabled=cache_enabled,
                 metadata_cache_enabled=metadata_cache_enabled,
             )
-            ring.add_node(name)
+
+        workers: dict[str, Worker] = {}
+        for index in range(n_workers):
+            name = f"worker-{index}"
+            workers[name] = worker_factory(name)
+            membership.join(name)
         if scheduler == "soft_affinity":
             sched = SoftAffinityScheduler(
                 ring,
@@ -115,7 +145,10 @@ class PrestoCluster:
             catalog, workers, sched, target_split_size=target_split_size,
             health=health,
         )
-        return cls(coordinator=coordinator, workers=workers, ring=ring)
+        return cls(
+            coordinator=coordinator, workers=workers, ring=ring,
+            membership=membership, worker_factory=worker_factory,
+        )
 
     def attach_kernel(self, kernel) -> "PrestoCluster":
         """Attach every worker's devices (and the shared source, when it
@@ -136,6 +169,73 @@ class PrestoCluster:
                     source, "_store", None
                 )
         return self
+
+
+class _ExecutorPool:
+    """The live executor fleet of one ``run_concurrent_kernel`` run.
+
+    Owns per-worker split channels, executor processes, and the in-flight
+    split accounting the scheduler and admission controller read.
+    Membership changes mid-run route through :meth:`ensure` /
+    :meth:`retire` (via ``Coordinator.add_worker`` / ``remove_worker``) so
+    a joining worker starts consuming splits and a leaving worker's queued
+    splits fail over instead of hanging their queries.
+    """
+
+    def __init__(self, kernel, concurrency: int, executor_factory) -> None:
+        self.kernel = kernel
+        self.concurrency = concurrency
+        self._factory = executor_factory
+        self.channels: dict[str, object] = {}
+        self.in_flight: dict[str, int] = {}
+        self.executors: dict[str, list] = {}
+        self._retired: set[str] = set()
+
+    def ensure(self, name: str) -> None:
+        """Give ``name`` a channel and executors (idempotent; re-arms a
+        previously retired name on rejoin)."""
+        if name in self.channels and name not in self._retired:
+            return
+        if name not in self.channels:
+            self.channels[name] = self.kernel.channel(name=f"splits/{name}")
+            self.in_flight[name] = 0
+        else:
+            # rejoining a retired name: clear leftover poison pills
+            self.channels[name].drain()
+        self._retired.discard(name)
+        self.executors[name] = [
+            self.kernel.spawn(self._factory(name), name=f"executor/{name}/{i}")
+            for i in range(self.concurrency)
+        ]
+
+    def retire(self, name: str) -> None:
+        """Fail queued splits over and poison the executors (permanent
+        leave).  Queries holding the drained splits resubmit elsewhere."""
+        chan = self.channels.get(name)
+        if chan is None or name in self._retired:
+            return
+        self._retired.add(name)
+        for task in chan.drain():
+            done = task[4]
+            self.in_flight[name] -= 1
+            done.trigger(
+                (name, None,
+                 ConnectionError(f"presto worker {name} decommissioned"))
+            )
+        for __ in range(self.concurrency):
+            chan.put(None)
+
+    def occupancy(self) -> int:
+        """Queued + executing splits fleet-wide: the backpressure signal."""
+        return sum(self.in_flight.values())
+
+    def shutdown(self) -> None:
+        """Poison every live executor at end of run."""
+        for name, chan in self.channels.items():
+            if name in self._retired:
+                continue
+            for __ in range(self.concurrency):
+                chan.put(None)
 
 
 class Coordinator:
@@ -161,6 +261,27 @@ class Coordinator:
         self.metrics = metrics if metrics is not None else MetricsRegistry("coordinator")
         self.aggregator = RuntimeStatsAggregator()
         self.split_failovers = 0
+        self._pool: _ExecutorPool | None = None
+
+    # -- membership hooks (called by repro.cluster.lifecycle) ----------------
+
+    def add_worker(self, worker: Worker) -> None:
+        """Register a worker; an active kernel run gains its executors."""
+        self.workers[worker.name] = worker
+        if self._pool is not None:
+            self._pool.ensure(worker.name)
+
+    def remove_worker(self, name: str) -> None:
+        """Deregister a worker (decommission / offline-timeout expiry);
+        queued splits on it fail over to healthy nodes."""
+        self.workers.pop(name, None)
+        if self._pool is not None:
+            self._pool.retire(name)
+
+    def live_occupancy(self) -> int:
+        """Fleet-wide in-flight split count of the active kernel run --
+        the admission controller's backpressure signal (0 when idle)."""
+        return self._pool.occupancy() if self._pool is not None else 0
 
     # -- planning ------------------------------------------------------------
 
@@ -399,6 +520,7 @@ class Coordinator:
         *,
         kernel,
         worker_concurrency: int = 4,
+        admission=None,
     ) -> list[QueryResult]:
         """Concurrent execution on an event kernel: queueing is *lived*.
 
@@ -412,6 +534,19 @@ class Coordinator:
         than the serial ``worker_free_at`` bookkeeping of
         :meth:`run_concurrent`.
 
+        Membership may change mid-run: :meth:`add_worker` /
+        :meth:`remove_worker` (driven by
+        :class:`~repro.cluster.lifecycle.ClusterLifecycle`) extend or
+        retire the executor fleet live, and a retired worker's queued
+        splits fail over like a crash.
+
+        ``admission`` (an
+        :class:`~repro.cluster.admission.AdmissionController`) gates each
+        query at arrival: shed queries return immediately with
+        ``shed=True`` (no latency recorded), queued queries charge the
+        wait to their ``queueing`` bucket, and degraded queries run with
+        cluster-wide cache bypass.
+
         The cluster must be kernel-attached first
         (:meth:`PrestoCluster.attach_kernel`).  Drives ``kernel.run()``
         to completion and returns per-query results in arrival order.
@@ -420,18 +555,13 @@ class Coordinator:
             raise ValueError(
                 f"worker_concurrency must be >= 1, got {worker_concurrency}"
             )
+        if self._pool is not None:
+            raise RuntimeError("a run_concurrent_kernel run is already active")
         tracer = current_tracer()
         probe_latency = getattr(self.scheduler, "probe_latency", 0.0)
-        channels = {
-            name: kernel.channel(name=f"splits/{name}") for name in self.workers
-        }
-        # queued + executing splits per worker: the scheduler's live load
-        # view, and what the analytic path approximates with `outstanding`
-        in_flight = {name: 0 for name in self.workers}
 
         def executor(name: str):
-            worker = self.workers[name]
-            chan = channels[name]
+            chan = pool.channels[name]
             while True:
                 task = yield chan.get()
                 if task is None:
@@ -440,125 +570,165 @@ class Coordinator:
                 # adopt the submitting query's span context so the split's
                 # spans land in that query's trace
                 tracer.restore_context(ctx)
+                # fresh lookup each task: a rejoined name is a new object
+                worker = self.workers.get(name)
                 try:
+                    if worker is None:
+                        raise ConnectionError(
+                            f"presto worker {name} was removed"
+                        )
                     result = yield from worker.execute_split_proc(
                         split, profile, stats, bypass_cache=bypass
                     )
                 except ConnectionError as exc:
-                    in_flight[name] -= 1
+                    pool.in_flight[name] -= 1
                     done.trigger((name, None, exc))
                 else:
-                    in_flight[name] -= 1
+                    pool.in_flight[name] -= 1
                     done.trigger((name, result, None))
                 finally:
                     tracer.restore_context([])
 
+        pool = _ExecutorPool(kernel, worker_concurrency, executor)
+
         def query_proc(arrival: float, query: QueryProfile):
-            with tracer.span(
-                "query", actor="coordinator",
-                query_id=query.query_id, arrival=arrival,
-            ) as qspan:
-                stats = QueryRuntimeStats(query_id=query.query_id)
-                stats.tables = [scan.table for scan in query.scans]
-                planned = self.plan(query)
-                stats.splits = len(planned)
-                partitions_touched: set[str] = set()
-                scheduling_wall = 0.0
-                ctx = tracer.capture_context()
-                dead: set[str] = set()
-                pending = list(planned)
-                while pending:
-                    submitted = []
-                    for split, profile in pending:
-                        live = {
-                            name: in_flight[name]
-                            for name in self._schedulable_workers()
-                            if name not in dead
-                        }
-                        if not live:
-                            raise SchedulerError(
-                                "no workers left to run split of "
-                                f"{split.qualified_table}"
+            ticket = None
+            if admission is not None:
+                # the admission verdict is taken at the arrival instant
+                ticket = admission.admit()
+                if ticket is None:
+                    stats = QueryRuntimeStats(query_id=query.query_id)
+                    stats.tables = [scan.table for scan in query.scans]
+                    return QueryResult(
+                        query_id=query.query_id, wall_seconds=0.0,
+                        stats=stats, shed=True,
+                    )
+            try:
+                with tracer.span(
+                    "query", actor="coordinator",
+                    query_id=query.query_id, arrival=arrival,
+                ) as qspan:
+                    stats = QueryRuntimeStats(query_id=query.query_id)
+                    stats.tables = [scan.table for scan in query.scans]
+                    scheduling_wall = 0.0
+                    if ticket is not None and ticket.queued:
+                        admitted_from = kernel.clock.now()
+                        yield ticket.request
+                        queue_wait = kernel.clock.now() - admitted_from
+                        if queue_wait > 0:
+                            qspan.charge("queueing", queue_wait)
+                            scheduling_wall += queue_wait
+                    degraded = ticket.degraded if ticket is not None else False
+                    planned = self.plan(query)
+                    stats.splits = len(planned)
+                    partitions_touched: set[str] = set()
+                    ctx = tracer.capture_context()
+                    dead: set[str] = set()
+                    pending = list(planned)
+                    while pending:
+                        submitted = []
+                        for split, profile in pending:
+                            while True:
+                                live = {
+                                    name: pool.in_flight[name]
+                                    for name in self._schedulable_workers()
+                                    if name not in dead
+                                }
+                                if not live:
+                                    raise SchedulerError(
+                                        "no workers left to run split of "
+                                        f"{split.qualified_table}"
+                                    )
+                                decision = self.scheduler.assign(split, live)
+                                probe_cost = (
+                                    max(decision.probes - 1, 0) * probe_latency
+                                )
+                                if probe_cost > 0:
+                                    yield Timeout(probe_cost)
+                                    qspan.charge("queueing", probe_cost)
+                                    scheduling_wall += probe_cost
+                                    if decision.worker not in self.workers:
+                                        # membership changed while probing:
+                                        # place the split again
+                                        continue
+                                break
+                            bypass = decision.bypass_cache or degraded
+                            if decision.affinity:
+                                stats.affinity_hits += 1
+                            if bypass:
+                                stats.cache_bypassed_splits += 1
+                            done = kernel.event()
+                            pool.in_flight[decision.worker] += 1
+                            pool.channels[decision.worker].put(
+                                (split, profile, stats, bypass, done, ctx)
                             )
-                        decision = self.scheduler.assign(split, live)
-                        probe_cost = max(decision.probes - 1, 0) * probe_latency
-                        if probe_cost > 0:
-                            yield Timeout(probe_cost)
-                            qspan.charge("queueing", probe_cost)
-                            scheduling_wall += probe_cost
-                        if decision.affinity:
-                            stats.affinity_hits += 1
-                        if decision.bypass_cache:
-                            stats.cache_bypassed_splits += 1
-                        done = kernel.event()
-                        in_flight[decision.worker] += 1
-                        channels[decision.worker].put(
-                            (split, profile, stats, decision.bypass_cache,
-                             done, ctx)
-                        )
-                        submitted.append((split, profile, done))
-                        partitions_touched.add(
-                            f"{split.qualified_table}/{split.partition}"
-                        )
-                    if submitted:
-                        yield all_of(*(done for _, _, done in submitted))
-                    pending = []
-                    for split, profile, done in submitted:
-                        name, result, exc = done.value
-                        if exc is not None:
-                            self.split_failovers += 1
-                            self.metrics.counter("failovers").inc()
-                            self.metrics.record_error("execute_split", exc)
-                            qspan.event("split_failover", worker=name)
-                            if self.health is not None:
-                                self.health.record_failure(name)
-                            dead.add(name)
-                            pending.append((split, profile))
-                        elif self.health is not None:
-                            self.health.record_success(name)
-                if query.compute_seconds > 0:
-                    yield Timeout(query.compute_seconds)
-                qspan.charge("compute", query.compute_seconds)
-                stats.partitions = sorted(partitions_touched)
-                wall = kernel.clock.now() - arrival
-                stats.input_wall += scheduling_wall
-                stats.total_wall = wall
-                qspan.annotate(
-                    "wall",
-                    stats.input_wall + stats.compute_wall + query.compute_seconds,
-                )
-                qspan.annotate("makespan", wall)
-                qspan.annotate("splits", stats.splits)
-                self.metrics.histogram("query_wall_seconds").observe(
-                    wall, exemplar=qspan.span_id or None
-                )
-                self.aggregator.record(stats)
-                return QueryResult(
-                    query_id=query.query_id, wall_seconds=wall, stats=stats
-                )
+                            submitted.append((split, profile, done))
+                            partitions_touched.add(
+                                f"{split.qualified_table}/{split.partition}"
+                            )
+                        if submitted:
+                            yield all_of(*(done for _, _, done in submitted))
+                        pending = []
+                        for split, profile, done in submitted:
+                            name, result, exc = done.value
+                            if exc is not None:
+                                self.split_failovers += 1
+                                self.metrics.counter("failovers").inc()
+                                self.metrics.record_error("execute_split", exc)
+                                qspan.event("split_failover", worker=name)
+                                if self.health is not None:
+                                    self.health.record_failure(name)
+                                dead.add(name)
+                                pending.append((split, profile))
+                            elif self.health is not None:
+                                self.health.record_success(name)
+                    if query.compute_seconds > 0:
+                        yield Timeout(query.compute_seconds)
+                    qspan.charge("compute", query.compute_seconds)
+                    stats.partitions = sorted(partitions_touched)
+                    wall = kernel.clock.now() - arrival
+                    stats.input_wall += scheduling_wall
+                    stats.total_wall = wall
+                    qspan.annotate(
+                        "wall",
+                        stats.input_wall + stats.compute_wall
+                        + query.compute_seconds,
+                    )
+                    qspan.annotate("makespan", wall)
+                    qspan.annotate("splits", stats.splits)
+                    self.metrics.histogram("query_wall_seconds").observe(
+                        wall, exemplar=qspan.span_id or None
+                    )
+                    self.aggregator.record(stats)
+                    return QueryResult(
+                        query_id=query.query_id, wall_seconds=wall,
+                        stats=stats, degraded=degraded,
+                    )
+            finally:
+                if ticket is not None:
+                    admission.release(ticket)
 
-        executors = [
-            kernel.spawn(executor(name), name=f"executor/{name}/{i}")
-            for name in self.workers
-            for i in range(worker_concurrency)
-        ]
-        ordered = sorted(arrivals, key=lambda pair: pair[0])
-        query_procs = [
-            kernel.spawn_at(
-                arrival, query_proc(arrival, query),
-                name=f"query/{query.query_id}",
-            )
-            for arrival, query in ordered
-        ]
-
-        def supervisor():
-            yield all_of(*query_procs)
+        self._pool = pool
+        try:
             for name in self.workers:
-                for _ in range(worker_concurrency):
-                    channels[name].put(None)
+                pool.ensure(name)
+            ordered = sorted(arrivals, key=lambda pair: pair[0])
+            query_procs = [
+                kernel.spawn_at(
+                    arrival, query_proc(arrival, query),
+                    name=f"query/{query.query_id}",
+                )
+                for arrival, query in ordered
+            ]
 
-        kernel.spawn(supervisor())
-        kernel.run()
+            def supervisor():
+                yield all_of(*query_procs)
+                pool.shutdown()
+
+            kernel.spawn(supervisor())
+            kernel.run()
+        finally:
+            self._pool = None
         for proc in query_procs:
             if proc.exception is not None:
                 raise proc.exception

@@ -19,6 +19,8 @@ from __future__ import annotations
 import bisect
 import zlib
 
+from repro.sim.clock import Clock
+
 
 def _hash(value: str) -> int:
     return zlib.crc32(value.encode("utf-8"))
@@ -30,10 +32,19 @@ class ConsistentHashRing:
     Args:
         virtual_nodes: ring positions per physical node (smooths balance).
         offline_timeout: seconds an offline node retains its positions.
+        clock: time source for the offline bookkeeping.  When supplied,
+            :meth:`mark_offline` and :meth:`evict_expired` may omit their
+            ``now`` argument and the ring reads the injected clock; without
+            one, ``now`` stays mandatory so wall time can never leak in
+            silently.
     """
 
     def __init__(
-        self, *, virtual_nodes: int = 64, offline_timeout: float = 600.0
+        self,
+        *,
+        virtual_nodes: int = 64,
+        offline_timeout: float = 600.0,
+        clock: Clock | None = None,
     ) -> None:
         if virtual_nodes <= 0:
             raise ValueError(f"virtual_nodes must be positive, got {virtual_nodes}")
@@ -41,10 +52,21 @@ class ConsistentHashRing:
             raise ValueError(f"offline_timeout must be >= 0, got {offline_timeout}")
         self.virtual_nodes = virtual_nodes
         self.offline_timeout = offline_timeout
+        self.clock = clock
         self._positions: list[int] = []
         self._owner_at: dict[int, str] = {}
         self._nodes: set[str] = set()
         self._offline_since: dict[str, float] = {}
+
+    def _resolve_now(self, now: float | None) -> float:
+        if now is not None:
+            return now
+        if self.clock is None:
+            raise ValueError(
+                "no clock injected: pass `now` explicitly or construct the "
+                "ring with ConsistentHashRing(clock=...)"
+            )
+        return self.clock.now()
 
     # -- membership ----------------------------------------------------------
 
@@ -75,21 +97,22 @@ class ConsistentHashRing:
         dead_set = set(dead)
         self._positions = [p for p in self._positions if p not in dead_set]
 
-    def mark_offline(self, node: str, now: float) -> None:
+    def mark_offline(self, node: str, now: float | None = None) -> None:
         """Node stopped responding at ``now``; keep its seat for the timeout."""
         if node in self._nodes:
-            self._offline_since.setdefault(node, now)
+            self._offline_since.setdefault(node, self._resolve_now(now))
 
     def mark_online(self, node: str) -> None:
         """Node came back; its keys map straight back (no data movement)."""
         self._offline_since.pop(node, None)
 
-    def evict_expired(self, now: float) -> list[str]:
+    def evict_expired(self, now: float | None = None) -> list[str]:
         """Permanently remove nodes offline longer than the timeout."""
+        resolved = self._resolve_now(now)
         expired = [
             node
             for node, since in self._offline_since.items()
-            if now - since >= self.offline_timeout
+            if resolved - since >= self.offline_timeout
         ]
         for node in expired:
             self.remove_node(node)

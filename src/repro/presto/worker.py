@@ -97,6 +97,18 @@ class Worker:
         """Bring the worker back; its SSD cache contents survived."""
         self.online = True
 
+    def wipe_cache(self) -> int:
+        """Lose the SSD cache contents (disk replaced, container
+        rescheduled without its volume); returns pages dropped.  The
+        worker restarts cold -- the recovery case the churn soak measures."""
+        if self.cache is None:
+            return 0
+        removed = 0
+        for directory in range(len(self.cache.config.directories)):
+            removed += self.cache.delete_dir(directory)
+        self.metrics.counter("cache_wipes").inc()
+        return removed
+
     def execute_split(
         self,
         split: Split,

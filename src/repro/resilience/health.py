@@ -79,6 +79,7 @@ class NodeHealthTracker:
                     if node in self.breakers
                     else "closed"
                 ),
+                "available": self.is_available(node),
                 "successes": self._successes.get(node, 0),
                 "failures": self._failures.get(node, 0),
                 "last_failure_at": self._last_failure_at.get(node),

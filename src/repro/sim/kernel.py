@@ -343,6 +343,16 @@ class Channel:
             ev._on_abandon = _withdraw
         return ev
 
+    def drain(self) -> list[Any]:
+        """Remove and return every queued item (consumer-pool retirement).
+
+        Blocked getters are untouched -- they stay queued for whatever is
+        put next (typically poison pills).
+        """
+        items = list(self._items)
+        self._items.clear()
+        return items
+
     @property
     def backlog(self) -> int:
         """Items queued and not yet claimed by a getter."""

@@ -33,8 +33,42 @@ SECTION_ORDER = [
     ("ablation_admission", "Ablation — admission policy (§5.1)"),
     ("ablation_metadata_cache", "Ablation — metadata cache (§6.1.1/§7)"),
     ("chaos_soak", "Chaos soak — resilience under fault injection"),
+    ("churn_soak", "Churn soak — membership, admission, recovery SLOs"),
+    ("cluster_membership", "Cluster membership — node health"),
     ("trace_attribution", "Trace attribution — per-query latency breakdown"),
 ]
+
+
+def format_membership(
+    health_snapshot: dict[str, dict],
+    membership_states: dict[str, str] | None = None,
+) -> str:
+    """Render ``NodeHealthTracker.snapshot()`` (plus optional membership
+    states) as the cluster-membership report section.
+
+    One row per node: membership state, breaker state, availability, and
+    the success/failure tallies the breaker decided from.  Benchmarks call
+    this and pass the text to ``emit_report("cluster_membership", ...)``.
+    """
+    states = membership_states if membership_states is not None else {}
+    nodes = sorted(set(health_snapshot) | set(states))
+    lines = [
+        f"{'node':<16} {'member':<10} {'breaker':<10} {'avail':<6} "
+        f"{'ok':>8} {'fail':>6}  last failure",
+    ]
+    for node in nodes:
+        entry = health_snapshot.get(node, {})
+        last = entry.get("last_failure_at")
+        lines.append(
+            f"{node:<16} "
+            f"{states.get(node, '-'):<10} "
+            f"{entry.get('state', '-'):<10} "
+            f"{('yes' if entry.get('available', True) else 'no'):<6} "
+            f"{entry.get('successes', 0):>8} "
+            f"{entry.get('failures', 0):>6}  "
+            f"{f'{last:.1f}s' if last is not None else '-'}"
+        )
+    return "\n".join(lines)
 
 
 def collate(report_dir: Path) -> str:

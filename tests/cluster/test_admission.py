@@ -1,0 +1,119 @@
+"""Tests for the coordinator admission controller's overload ladder."""
+
+import pytest
+
+from repro.cluster.admission import AdmissionController
+from repro.sim.kernel import Kernel, Timeout
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"max_concurrent": 0, "max_queue_depth": 1},
+        {"max_concurrent": -1, "max_queue_depth": 1},
+        {"max_concurrent": 1, "max_queue_depth": -1},
+        {"max_concurrent": 1, "max_queue_depth": 1, "degrade_occupancy": 1.5},
+        {"max_concurrent": 1, "max_queue_depth": 1, "degrade_occupancy": -0.1},
+    ])
+    def test_bad_params(self, kwargs):
+        with pytest.raises(ValueError):
+            AdmissionController(Kernel(), **kwargs)
+
+
+class TestLadder:
+    def test_admit_then_queue_then_shed(self):
+        kernel = Kernel()
+        ctl = AdmissionController(kernel, max_concurrent=1, max_queue_depth=1)
+        first = ctl.admit()
+        assert first is not None and not first.queued
+        second = ctl.admit()
+        assert second is not None and second.queued
+        # the queue is full now: the third arrival is shed, not parked
+        assert ctl.admit() is None
+        assert ctl.summary() == {
+            "admitted": 2, "queued": 1, "degraded": 0, "shed": 1,
+        }
+
+    def test_release_wakes_queued_in_fifo_order(self):
+        kernel = Kernel()
+        ctl = AdmissionController(kernel, max_concurrent=1, max_queue_depth=4)
+        running = ctl.admit()
+        waiters = [ctl.admit() for __ in range(3)]
+        assert all(t.queued and not t.request.triggered for t in waiters)
+        ctl.release(running)
+        assert waiters[0].request.triggered
+        assert not waiters[1].request.triggered
+        ctl.release(waiters[0])
+        assert waiters[1].request.triggered
+
+    def test_zero_queue_depth_sheds_at_capacity(self):
+        kernel = Kernel()
+        ctl = AdmissionController(kernel, max_concurrent=2, max_queue_depth=0)
+        assert ctl.admit() is not None
+        assert ctl.admit() is not None
+        assert ctl.admit() is None
+
+
+class TestDegrade:
+    def build(self, occupancy, *, degrade_occupancy=0.5, capacity=10):
+        kernel = Kernel()
+        return AdmissionController(
+            kernel,
+            max_concurrent=4,
+            max_queue_depth=4,
+            degrade_occupancy=degrade_occupancy,
+            occupancy_fn=lambda: occupancy[0],
+            occupancy_capacity=capacity,
+        )
+
+    def test_degrades_at_threshold(self):
+        occupancy = [5]  # exactly 0.5 * 10: >= comparison fires
+        ctl = self.build(occupancy)
+        ticket = ctl.admit()
+        assert ticket.degraded
+        assert ctl.summary()["degraded"] == 1
+
+    def test_below_threshold_runs_cached(self):
+        occupancy = [4]
+        ctl = self.build(occupancy)
+        assert not ctl.admit().degraded
+
+    def test_verdict_taken_at_arrival_instant(self):
+        occupancy = [10]
+        ctl = self.build(occupancy)
+        hot = ctl.admit()
+        occupancy[0] = 0
+        cool = ctl.admit()
+        assert hot.degraded and not cool.degraded
+
+    def test_disabled_without_occupancy_signal(self):
+        kernel = Kernel()
+        ctl = AdmissionController(
+            kernel, max_concurrent=1, max_queue_depth=1,
+            degrade_occupancy=0.0,
+        )
+        assert not ctl.admit().degraded
+
+
+class TestKernelIntegration:
+    def test_queued_wait_is_lived_in_virtual_time(self):
+        """Three queries against one slot serialize: each waits for the
+        previous holder's virtual-time release, in FIFO order."""
+        kernel = Kernel()
+        ctl = AdmissionController(kernel, max_concurrent=1, max_queue_depth=8)
+        starts = []
+
+        def query(name, hold):
+            ticket = ctl.admit()
+            assert ticket is not None
+            if ticket.queued:
+                yield ticket.request
+            starts.append((name, kernel.clock.now()))
+            try:
+                yield Timeout(hold)
+            finally:
+                ctl.release(ticket)
+
+        for name in ("a", "b", "c"):
+            kernel.spawn(query(name, 2.0), name=f"query/{name}")
+        kernel.run_all()
+        assert starts == [("a", 0.0), ("b", 2.0), ("c", 4.0)]

@@ -1,0 +1,99 @@
+"""Tests for the churn SLO math: recovery time and phase percentiles."""
+
+import pytest
+
+from repro.cluster.slo import hit_ratio_recovery, phase_p99
+
+# steady 0.90 baseline, churn at t=200 craters to 0.50, a false dawn at
+# t=400, and a durable return from t=600 on
+WINDOWS = [
+    (100.0, 0.90), (200.0, 0.90),
+    (300.0, 0.50), (400.0, 0.88), (500.0, 0.70),
+    (600.0, 0.89), (700.0, 0.90),
+]
+
+
+class TestHitRatioRecovery:
+    def test_baseline_floor_and_durable_recovery(self):
+        report = hit_ratio_recovery(
+            WINDOWS, churn_start=200.0, tolerance=0.05,
+        )
+        assert report.baseline == pytest.approx(0.90)
+        assert report.floor == pytest.approx(0.50)
+        # the 0.88 window at t=400 does not count: the ratio dips back
+        # out of tolerance at t=500, so recovery is t=600
+        assert report.recovered
+        assert report.recovered_at == 600.0
+        assert report.recovery_seconds == 400.0
+
+    def test_never_recovered(self):
+        windows = [(100.0, 0.9), (200.0, 0.4), (300.0, 0.5)]
+        report = hit_ratio_recovery(windows, churn_start=100.0)
+        assert not report.recovered
+        assert report.recovered_at is None
+        assert report.recovery_seconds is None
+        assert report.floor == pytest.approx(0.4)
+
+    def test_no_dip_recovers_immediately(self):
+        windows = [(100.0, 0.9), (200.0, 0.89), (300.0, 0.9)]
+        report = hit_ratio_recovery(windows, churn_start=100.0, tolerance=0.05)
+        assert report.recovered_at == 200.0
+        assert report.recovery_seconds == 100.0
+
+    def test_tolerance_boundary_is_inclusive(self):
+        windows = [(100.0, 0.9), (200.0, 0.85)]
+        report = hit_ratio_recovery(windows, churn_start=100.0, tolerance=0.05)
+        assert report.recovered_at == 200.0
+
+    def test_no_post_windows_floor_defaults_to_baseline(self):
+        report = hit_ratio_recovery([(100.0, 0.8)], churn_start=100.0)
+        assert report.floor == pytest.approx(0.8)
+        assert not report.recovered
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hit_ratio_recovery([], churn_start=0.0)
+        with pytest.raises(ValueError):
+            hit_ratio_recovery(WINDOWS, churn_start=200.0, tolerance=0.0)
+        with pytest.raises(ValueError):
+            hit_ratio_recovery(WINDOWS, churn_start=200.0, tolerance=1.0)
+        # every window ends after churn start: no steady state to compare to
+        with pytest.raises(ValueError):
+            hit_ratio_recovery(WINDOWS, churn_start=50.0)
+
+
+class TestPhaseP99:
+    SAMPLES = (
+        [(float(t), 1.0) for t in range(0, 100, 10)]
+        + [(float(t), 50.0) for t in range(100, 200, 10)]
+        + [(float(t), 2.0) for t in range(200, 300, 10)]
+    )
+
+    def test_phases_split_on_completion_time(self):
+        phases = phase_p99(
+            self.SAMPLES, churn_start=100.0, churn_end=200.0,
+        )
+        assert phases.pre == pytest.approx(1.0)
+        assert phases.churn == pytest.approx(50.0)
+        assert phases.post == pytest.approx(2.0)
+        assert (phases.pre_count, phases.churn_count, phases.post_count) == (
+            10, 10, 10,
+        )
+
+    def test_churn_window_half_open(self):
+        samples = [(99.9, 1.0), (100.0, 50.0), (199.9, 50.0), (200.0, 2.0)]
+        phases = phase_p99(samples, churn_start=100.0, churn_end=200.0)
+        assert phases.pre_count == 1
+        assert phases.churn_count == 2
+        assert phases.post_count == 1
+
+    def test_quantile_parameter(self):
+        samples = [(float(i), float(i)) for i in range(100)]
+        phases = phase_p99(
+            samples, churn_start=200.0, churn_end=300.0, q=50.0,
+        )
+        assert phases.pre == pytest.approx(49.5, abs=1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            phase_p99(self.SAMPLES, churn_start=100.0, churn_end=100.0)

@@ -12,6 +12,7 @@ from repro.devtools.rules import (
     NoMutableDefaultRule,
     NoPrintRule,
     NoWallClockRule,
+    RingMutationRule,
     SeededRngRule,
     SetOrderRule,
     SimPurityRule,
@@ -288,3 +289,42 @@ class TestTRC001SpanLifecycle:
     def test_unrelated_methods_clean(self):
         code = "def f(x):\n    return x.spanner() + x.wingspan\n"
         assert run_rule(SpanLifecycleRule(), code) == []
+
+
+class TestCHN001RingMutation:
+    def test_flags_every_ring_mutator(self):
+        code = (
+            "def rebalance(ring, now):\n"
+            "    ring.add_node('w9')\n"
+            "    ring.remove_node('w0')\n"
+            "    ring.mark_offline('w1', now)\n"
+            "    ring.mark_online('w1')\n"
+            "    ring.evict_expired(now)\n"
+        )
+        findings = run_rule(
+            RingMutationRule(), code, path="src/repro/presto/scheduler.py"
+        )
+        assert [f.rule_id for f in findings] == ["CHN001"] * 5
+        assert "direct ring mutation" in findings[0].message
+        assert "ClusterMembership" in findings[0].hint
+
+    def test_lookups_clean(self):
+        code = (
+            "def place(ring, key):\n"
+            "    return ring.candidates(key, 2) or [ring.primary(key)]\n"
+        )
+        assert run_rule(
+            RingMutationRule(), code, path="src/repro/presto/scheduler.py"
+        ) == []
+
+    def test_scope_excludes_cluster_and_ring_itself(self):
+        """The rule covers presto domain code only: the ring implementation
+        and the sanctioned repro.cluster write path stay out of scope."""
+        from repro.devtools.config import LintConfig
+
+        config = LintConfig()
+        rule = RingMutationRule()
+        assert config.applies(rule, "src/repro/presto/coordinator.py")
+        assert not config.applies(rule, "src/repro/presto/hashring.py")
+        assert not config.applies(rule, "src/repro/cluster/membership.py")
+        assert not config.applies(rule, "tests/presto/test_hashring.py")

@@ -5,6 +5,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.presto.hashring import ConsistentHashRing
+from repro.sim.clock import SimClock
 
 
 def make_ring(n=4, **kwargs) -> ConsistentHashRing:
@@ -198,3 +199,68 @@ class TestOfflineTimeoutEdges:
         ring.add_node("worker-1")
         assert ring.is_online("worker-1")
         assert ring.evict_expired(now=10_000.0) == []
+
+
+class TestClockInjection:
+    """The wall-clock audit: offline bookkeeping reads an injected sim
+    clock, and without one an explicit ``now`` stays mandatory so wall
+    time can never leak in silently."""
+
+    def test_injected_clock_resolves_now(self):
+        clock = SimClock()
+        ring = make_ring(3, offline_timeout=100.0, clock=clock)
+        ring.mark_offline("worker-0")  # no explicit now
+        clock.advance(99.0)
+        assert ring.evict_expired() == []
+        clock.advance(1.0)
+        assert ring.evict_expired() == ["worker-0"]
+
+    def test_no_clock_requires_explicit_now(self):
+        ring = make_ring(2, offline_timeout=100.0)
+        with pytest.raises(ValueError):
+            ring.mark_offline("worker-0")
+        with pytest.raises(ValueError):
+            ring.evict_expired()
+        # the explicit-now forms still work
+        ring.mark_offline("worker-0", now=0.0)
+        assert ring.evict_expired(now=50.0) == []
+
+    def test_explicit_now_overrides_clock(self):
+        clock = SimClock()
+        ring = make_ring(2, offline_timeout=100.0, clock=clock)
+        ring.mark_offline("worker-0", now=500.0)
+        clock.advance(1000.0)  # clock says 1000, mark says offline at 500
+        assert ring.evict_expired(now=599.0) == []
+        assert ring.evict_expired(now=600.0) == ["worker-0"]
+
+    def test_rejoin_within_timeout_moves_zero_keys(self):
+        """The lazy-data-movement regression at ring level: a node back
+        inside the window reclaims its exact key set."""
+        clock = SimClock()
+        ring = make_ring(4, offline_timeout=600.0, clock=clock)
+        before = {f"file-{n}": ring.primary(f"file-{n}") for n in range(200)}
+        ring.mark_offline("worker-1")
+        clock.advance(599.0)
+        assert ring.evict_expired() == []
+        ring.mark_online("worker-1")
+        after = {k: ring.primary(k) for k in before}
+        assert after == before
+
+    def test_seat_leaves_for_good_after_timeout(self):
+        clock = SimClock()
+        ring = make_ring(4, offline_timeout=600.0, clock=clock)
+        displaced = {
+            f"file-{n}"
+            for n in range(200)
+            if ring.primary(f"file-{n}") == "worker-1"
+        }
+        assert displaced
+        ring.mark_offline("worker-1")
+        clock.advance(600.0)
+        assert ring.evict_expired() == ["worker-1"]
+        assert "worker-1" not in ring.nodes
+        # mark_online cannot resurrect an evicted seat
+        ring.mark_online("worker-1")
+        assert "worker-1" not in ring.nodes
+        for key in displaced:
+            assert ring.primary(key) != "worker-1"
