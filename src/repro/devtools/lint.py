@@ -1,29 +1,64 @@
-"""``replint`` CLI -- the determinism lint gate.
+"""``replint`` CLI -- the determinism + architecture lint gate.
 
 Usage::
 
     python -m repro.devtools.lint src tests benchmarks
-    python -m repro.devtools.lint src --format json
+    python -m repro.devtools.lint src --format sarif --output replint.sarif
+    python -m repro.devtools.lint src --changed-only --diff-base origin/main
     python -m repro.devtools.lint src tests benchmarks --write-baseline
     python -m repro.devtools.lint --list-rules
 
 Exit codes: 0 clean (no non-baselined findings), 1 findings, 2 usage /
-config errors.  CI runs the first form against the committed (empty)
+config errors.  CI runs the SARIF form against the committed (empty)
 baseline; a single stray ``time.time()`` in ``src/repro/`` fails the job.
+``--changed-only`` narrows the run to files ``git diff`` (plus untracked
+files) reports against ``--diff-base`` -- the fast pre-commit loop.
+Whole-program rules (``KRN003``, the ``ARC`` family) still see only the
+selected files in that mode; the full run remains the authority.
 """
 
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
 from pathlib import Path
 
 from repro.devtools.baseline import load_baseline, split_by_baseline, write_baseline
 from repro.devtools.config import LintConfig
 from repro.devtools.driver import LintDriver
-from repro.devtools.reporters import REPORTERS
+from repro.devtools.reporters import REPORTERS, render_text
 
 DEFAULT_BASELINE = ".replint-baseline.json"
+
+
+def changed_python_files(root: Path, base: str) -> list[str]:
+    """Repo-relative ``.py`` paths changed vs ``base``, plus untracked ones.
+
+    Raises :class:`RuntimeError` when git cannot answer (not a repo, bad
+    base ref) -- the CLI maps that to exit code 2.
+    """
+
+    def git(*args: str) -> list[str]:
+        proc = subprocess.run(
+            ["git", *args], cwd=root, capture_output=True, text=True,
+        )
+        if proc.returncode != 0:
+            detail = proc.stderr.strip().splitlines()
+            raise RuntimeError(
+                f"git {' '.join(args)} failed: "
+                f"{detail[0] if detail else 'unknown error'}"
+            )
+        return proc.stdout.splitlines()
+
+    names = set(git("diff", "--name-only", base, "--"))
+    names.update(git("ls-files", "--others", "--exclude-standard"))
+    return sorted(n for n in names if n.endswith(".py"))
+
+
+def _under_targets(path: str, targets: list[str]) -> bool:
+    prefixes = [Path(t).as_posix().rstrip("/") for t in targets]
+    return any(path == p or path.startswith(p + "/") for p in prefixes)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -56,6 +91,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="repo root for path normalization (default: cwd)",
     )
     parser.add_argument(
+        "--changed-only", action="store_true",
+        help="lint only files git reports changed vs --diff-base "
+        "(plus untracked files), intersected with the targets",
+    )
+    parser.add_argument(
+        "--diff-base", default="HEAD",
+        help="git ref --changed-only diffs against (default: HEAD)",
+    )
+    parser.add_argument(
+        "--output", default=None,
+        help="also write the formatted report to this file "
+        "(stdout keeps the text report)",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule table and exit",
     )
@@ -86,8 +135,26 @@ def main(argv: list[str] | None = None) -> int:
               file=sys.stderr)
         return 2
 
+    targets: list[str] = list(args.targets)
+    if args.changed_only:
+        try:
+            changed = changed_python_files(root, args.diff_base)
+        except RuntimeError as exc:
+            print(f"replint: {exc}", file=sys.stderr)
+            return 2
+        targets = [
+            name for name in changed
+            if _under_targets(name, args.targets) and (root / name).exists()
+        ]
+        if not targets:
+            print(
+                f"replint: no changed python files under "
+                f"{', '.join(args.targets)} (vs {args.diff_base})"
+            )
+            return 0
+
     driver = LintDriver(config=config, root=root)
-    findings = driver.run(args.targets)
+    findings = driver.run(targets)
 
     baseline_path = Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE
     if args.write_baseline:
@@ -102,9 +169,18 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     new, suppressed = split_by_baseline(findings, baselined)
 
+    suppressed_count = len(suppressed) + driver.inline_suppressed
     report = REPORTERS[args.format](
-        new, suppressed=len(suppressed), files_checked=driver.files_checked
+        new, suppressed=suppressed_count, files_checked=driver.files_checked
     )
+    if args.output:
+        Path(args.output).write_text(report + "\n", encoding="utf-8")
+        if args.format != "text":
+            report = render_text(
+                new,
+                suppressed=suppressed_count,
+                files_checked=driver.files_checked,
+            )
     print(report)
     return 1 if new else 0
 

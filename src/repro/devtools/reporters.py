@@ -1,10 +1,14 @@
-"""Finding reporters: text for humans, JSON for machines.
+"""Finding reporters: text for humans, JSON and SARIF for machines.
 
 The text format is the classic ``path:line:col RULE message`` one-liner
 (clickable in editors and CI logs) followed by the offending source line
 and the fix hint.  The JSON format carries the same fields plus
 fingerprints, so a CI annotator or the baseline tool can consume it
-without re-running the linter.
+without re-running the linter.  The SARIF 2.1.0 format is what GitHub
+code scanning ingests -- CI uploads it so findings surface as inline PR
+annotations; ``partialFingerprints`` reuses the replint fingerprint, so
+GitHub's open/fixed tracking survives line shifts exactly like the
+baseline does.
 """
 
 from __future__ import annotations
@@ -12,6 +16,17 @@ from __future__ import annotations
 import json
 
 from repro.devtools.findings import Finding, sort_findings
+
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+#: driver-synthesized rules that never appear in default_rules()
+_SYNTHETIC_RULES = {
+    "PARSE": "file does not parse; no rule has vetted it",
+    "SUP001": "inline `replint: disable` comment matches no finding",
+}
+_SARIF_LEVELS = {"SUP001": "warning"}
 
 
 def render_text(
@@ -53,4 +68,83 @@ def render_json(
     return json.dumps(payload, indent=2)
 
 
-REPORTERS = {"text": render_text, "json": render_json}
+def render_sarif(
+    findings: list[Finding],
+    *,
+    suppressed: int = 0,
+    files_checked: int = 0,
+) -> str:
+    # local import: reporters must stay importable without dragging the
+    # whole rule set in for the text/json paths
+    from repro.devtools.rules import default_rules
+
+    descriptions = {r.rule_id: r.description for r in default_rules()}
+    descriptions.update(_SYNTHETIC_RULES)
+    rule_ids = sorted(descriptions)
+    rule_index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+    results = []
+    for finding in sort_findings(findings):
+        message = finding.message
+        if finding.hint:
+            message += f" ({finding.hint})"
+        results.append(
+            {
+                "ruleId": finding.rule_id,
+                "ruleIndex": rule_index.get(finding.rule_id, -1),
+                "level": _SARIF_LEVELS.get(finding.rule_id, "error"),
+                "message": {"text": message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": finding.path,
+                                "uriBaseId": "SRCROOT",
+                            },
+                            "region": {
+                                "startLine": finding.line,
+                                "startColumn": finding.col + 1,
+                                "snippet": {"text": finding.snippet},
+                            },
+                        }
+                    }
+                ],
+                "partialFingerprints": {
+                    "replintFingerprint/v1": finding.fingerprint(),
+                },
+            }
+        )
+    payload = {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "replint",
+                        "rules": [
+                            {
+                                "id": rule_id,
+                                "shortDescription": {
+                                    "text": descriptions[rule_id]
+                                },
+                            }
+                            for rule_id in rule_ids
+                        ],
+                    }
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {"uri": "file:///"},
+                },
+                "results": results,
+                "properties": {
+                    "findings": len(findings),
+                    "suppressed": suppressed,
+                    "filesChecked": files_checked,
+                },
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2)
+
+
+REPORTERS = {"text": render_text, "json": render_json, "sarif": render_sarif}

@@ -695,7 +695,26 @@ class RingMutationRule(Rule):
 
 
 def default_rules() -> list[Rule]:
-    """Fresh instances of every rule (MET001 carries cross-file state)."""
+    """Fresh instances of every rule (MET001, KRN003, and the ARC family
+    carry cross-file state).
+
+    The flow-aware rule families live in their own modules and need the
+    :class:`Rule` base defined here, so their imports are call-time
+    locals -- by the first ``default_rules()`` call both modules load
+    cleanly regardless of which one the caller imported first.
+    """
+    from repro.devtools.graph import (
+        DeferredImportHookRule,
+        ImportContractRule,
+        ImportCycleRule,
+    )
+    from repro.devtools.kernelcheck import (
+        BlockingCallInProcessRule,
+        LeakedHandleRule,
+        StaleSharedWriteRule,
+        UniteratedProcessRule,
+    )
+
     return [
         NoWallClockRule(),
         SeededRngRule(),
@@ -708,19 +727,20 @@ def default_rules() -> list[Rule]:
         NoPrintRule(),
         SpanLifecycleRule(),
         RingMutationRule(),
+        StaleSharedWriteRule(),
+        LeakedHandleRule(),
+        UniteratedProcessRule(),
+        BlockingCallInProcessRule(),
+        ImportContractRule(),
+        DeferredImportHookRule(),
+        ImportCycleRule(),
     ]
 
 
-ALL_RULES: tuple[type[Rule], ...] = (
-    NoWallClockRule,
-    SeededRngRule,
-    SetOrderRule,
-    AccountedExceptRule,
-    MetricNameRule,
-    SimPurityRule,
-    NoClockAdvanceRule,
-    NoMutableDefaultRule,
-    NoPrintRule,
-    SpanLifecycleRule,
-    RingMutationRule,
-)
+def __getattr__(name: str):
+    # ALL_RULES stays importable (`from repro.devtools.rules import
+    # ALL_RULES`) but is materialized lazily, after the kernelcheck/graph
+    # modules can import the Rule base from this one.
+    if name == "ALL_RULES":
+        return tuple(type(rule) for rule in default_rules())
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -28,6 +28,7 @@ from repro.resilience.breaker import CircuitBreaker
 from repro.resilience.hedge import HedgePolicy
 from repro.resilience.policy import RetryPolicy
 from repro.sim.kernel import (
+    Cancelled,
     Timeout,
     any_of,
     collecting_io,
@@ -274,7 +275,16 @@ class ResilientDataSource:
                 name=f"{self.operation}/attempt-{attempt_no}",
             )
             timer = kernel.timer(policy.attempt_timeout)
-            yield any_of(proc, timer)
+            try:
+                yield any_of(proc, timer)
+            except Cancelled:
+                # the read itself was cancelled mid-race: reap the attempt
+                # and the deadline timer, or they run on as orphans -- the
+                # attempt holding a device/connection slot, the timer
+                # keeping the kernel awake (any_of losers are not reaped)
+                proc.cancel("deadline race cancelled")
+                timer.cancel()
+                raise
             if proc.done:
                 timer.cancel()
                 if proc.exception is not None:
@@ -330,51 +340,67 @@ class ResilientDataSource:
         primary = kernel.spawn(
             self._plan_proc(plan), name=f"{self.operation}/hedge-primary"
         )
-        threshold = hedge.threshold()
-        if threshold is None:
-            yield primary
-            elapsed = clock.now() - start
-            hedge.observe(elapsed)
-            return elapsed
-        timer = kernel.timer(threshold)
-        yield any_of(primary, timer)
-        if primary.done:
-            timer.cancel()
-            if primary.exception is not None:
-                raise primary.exception
-            elapsed = clock.now() - start
-            hedge.observe(elapsed)
-            return elapsed
-        hedge.hedged_requests += 1
-        hedge.metrics.counter("hedged_requests").inc()
-        backup = kernel.spawn(
-            self._backup_proc(file_id, offset, length),
-            name=f"{self.operation}/hedge-backup",
-        )
-        yield any_of(primary, backup)
-        if backup.done and backup.exception is not None and not backup.cancelled:
-            # backup target failed; the slow primary still serves the read
-            hedge.hedge_errors += 1
-            hedge.metrics.counter("hedge_errors").inc()
-            hedge.metrics.record_error("hedge_backup", backup.exception)
-            if not primary.done:
+        timer = None
+        backup = None
+        try:
+            threshold = hedge.threshold()
+            if threshold is None:
                 yield primary
+                elapsed = clock.now() - start
+                hedge.observe(elapsed)
+                return elapsed
+            timer = kernel.timer(threshold)
+            yield any_of(primary, timer)
+            if primary.done:
+                timer.cancel()
+                if primary.exception is not None:
+                    raise primary.exception
+                elapsed = clock.now() - start
+                hedge.observe(elapsed)
+                return elapsed
+            hedge.hedged_requests += 1
+            hedge.metrics.counter("hedged_requests").inc()
+            backup = kernel.spawn(
+                self._backup_proc(file_id, offset, length),
+                name=f"{self.operation}/hedge-backup",
+            )
+            yield any_of(primary, backup)
+            if backup.done and backup.exception is not None and not backup.cancelled:
+                # backup target failed; the slow primary still serves the read
+                hedge.hedge_errors += 1
+                hedge.metrics.counter("hedge_errors").inc()
+                hedge.metrics.record_error("hedge_backup", backup.exception)
+                if not primary.done:
+                    yield primary
+                elapsed = clock.now() - start
+                hedge.observe(elapsed)
+                span.event("hedge", won=False)
+                return elapsed
+            won = backup.done and not primary.done
+            loser = primary if won else backup
+            if not loser.done:
+                loser.cancel("hedge loser")
+                hedge.record_cancelled(loser.wasted_bytes)
+            if won:
+                hedge.hedge_wins += 1
+                hedge.metrics.counter("hedge_wins").inc()
             elapsed = clock.now() - start
             hedge.observe(elapsed)
-            span.event("hedge", won=False)
+            span.event("hedge", won=won)
             return elapsed
-        won = backup.done and not primary.done
-        loser = primary if won else backup
-        if not loser.done:
-            loser.cancel("hedge loser")
-            hedge.record_cancelled(loser.wasted_bytes)
-        if won:
-            hedge.hedge_wins += 1
-            hedge.metrics.counter("hedge_wins").inc()
-        elapsed = clock.now() - start
-        hedge.observe(elapsed)
-        span.event("hedge", won=won)
-        return elapsed
+        except Cancelled:
+            # the read itself was cancelled mid-race: reap whichever race
+            # members are still in flight (the kernel deliberately leaves
+            # any_of losers running, so without this they orphan -- the
+            # attempts keep their device/connection slots, the hedge timer
+            # keeps the kernel awake)
+            if not primary.done:
+                primary.cancel("hedge race cancelled")
+            if timer is not None:
+                timer.cancel()
+            if backup is not None and not backup.done:
+                backup.cancel("hedge race cancelled")
+            raise
 
     def _backup_proc(self, file_id: str, offset: int, length: int):
         """Hedge backup process: fresh inner read, collected then replayed.

@@ -1,0 +1,10 @@
+"""Seeded-bug corpus for the KRN rule family.
+
+Each fixture plants one class of kernel-process bug and marks every
+expected finding with a ``# replint-expect: <RULE>`` comment on the
+offending line.  ``tests/devtools/test_corpus.py`` asserts the analyzer
+reports *exactly* the marked set -- no misses, no false positives --
+which is what the CI corpus job gates on.  The driver skips this
+directory during normal runs (``replint_fixtures`` is in
+``_SKIP_DIRS``); the corpus test lints the files as explicit targets.
+"""

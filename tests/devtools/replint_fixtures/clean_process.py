@@ -1,0 +1,37 @@
+"""Control fixture: a fully sanctioned kernel process -- zero findings.
+
+Exercises every pattern the KRN rules must *not* flag: a resource slot
+released in ``finally``, spawned/timer handles reaped in an ``except
+Cancelled`` block, ``yield from`` delegation, a waitable ``Timeout``
+yield, and shared-state writes from fresh (call-derived) values.
+"""
+
+from repro.sim.kernel import Cancelled, Timeout, any_of, replay_plan
+
+
+class Mover:
+    def __init__(self, kernel, slots) -> None:
+        self.kernel = kernel
+        self.slots = slots
+        self.moved = 0
+
+    def transfer_proc(self, plan, budget):
+        request = self.slots.request()
+        try:
+            yield request
+            elapsed = yield from replay_plan(plan)
+        finally:
+            self.slots.release(request)
+        worker = self.kernel.spawn(self._drain_proc(budget))
+        timer = self.kernel.timer(budget)
+        try:
+            yield any_of(worker, timer)
+        except Cancelled:
+            worker.cancel("transfer cancelled")
+            timer.cancel()
+            raise
+        self.moved += 1
+        return elapsed
+
+    def _drain_proc(self, budget):
+        yield Timeout(budget)

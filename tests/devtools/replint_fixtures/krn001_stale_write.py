@@ -1,0 +1,26 @@
+"""Seeded bug: shared-attribute write from a pre-yield read (KRN001).
+
+``drain_proc`` snapshots ``self.tokens``, waits, then writes the bucket
+from the snapshot -- the lost-update bug WriteWriteConflictDetector
+reports at runtime.  ``refill_proc`` shows the sanctioned shape: the
+attribute is re-read after the yield (optimistic-concurrency guard)
+before the write, so the value is fresh and no finding fires.
+"""
+
+from repro.sim.kernel import Timeout
+
+
+class TokenBucket:
+    def __init__(self) -> None:
+        self.tokens = 10.0
+
+    def drain_proc(self, cost: float):
+        tokens = self.tokens
+        yield Timeout(0.5)
+        self.tokens = tokens - cost  # replint-expect: KRN001
+
+    def refill_proc(self, amount: float):
+        tokens = self.tokens
+        yield Timeout(0.5)
+        if self.tokens == tokens:
+            self.tokens = tokens + amount

@@ -1,0 +1,29 @@
+"""Seeded bug: resource slot not settled on every path (KRN002).
+
+``read_proc`` releases its slot -- but only on the happy path.  A
+cancellation at either yield skips the release and the slot leaks, which
+under FIFO queueing stalls every later requester.  ``safe_read_proc`` is
+the sanctioned shape (release in ``finally``).
+"""
+
+
+class DiskReader:
+    def __init__(self, slots) -> None:
+        self._slots = slots
+        self.reads = 0
+
+    def read_proc(self, delay):
+        request = self._slots.request()  # replint-expect: KRN002
+        yield request
+        yield delay
+        self.reads += 1
+        self._slots.release(request)
+
+    def safe_read_proc(self, delay):
+        request = self._slots.request()
+        try:
+            yield request
+            yield delay
+            self.reads += 1
+        finally:
+            self._slots.release(request)

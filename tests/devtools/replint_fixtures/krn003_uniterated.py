@@ -1,0 +1,25 @@
+"""Seeded bugs: process generators that silently never run (KRN003).
+
+``serve_proc`` "calls" the warmup process as a bare statement -- Python
+builds the generator object and discards it; not one line of its body
+executes and nothing errors.  It then yields a raw generator (KernelError
+only at runtime) and ``pause_proc`` yields a bare float instead of a
+``Timeout``.  All three die statically here.
+"""
+
+from repro.sim.kernel import Timeout
+
+
+def warm_cache_proc(pages):
+    for _ in pages:
+        yield Timeout(0.001)
+
+
+def serve_proc(pages):
+    warm_cache_proc(pages)  # replint-expect: KRN003
+    yield Timeout(0.01)
+    yield warm_cache_proc(pages)  # replint-expect: KRN003
+
+
+def pause_proc():
+    yield 0.25  # replint-expect: KRN003

@@ -1,0 +1,18 @@
+"""Seeded bug: real host calls inside a kernel process (KRN004).
+
+``time.sleep`` stalls the single-threaded kernel without advancing
+virtual time, and ``open`` couples replayed latency to host disk state.
+Virtual time comes from ``Timeout``; I/O from deferred replay plans.
+"""
+
+import time
+
+from repro.sim.kernel import Timeout
+
+
+def flush_proc(path, records):
+    time.sleep(0.01)  # replint-expect: KRN004
+    handle = open(path, "w")  # replint-expect: KRN004
+    handle.write(str(records))
+    handle.close()
+    yield Timeout(0.01)

@@ -1,0 +1,148 @@
+"""Unit tests for the import graph + ARC contracts (repro.devtools.graph)."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import repro
+from repro.devtools.driver import LintDriver
+from repro.devtools.graph import (
+    DEFAULT_CONTRACTS,
+    Contract,
+    ImportContractRule,
+    ImportGraph,
+    dotted_in,
+    module_name_for,
+)
+
+REPO_ROOT = Path(repro.__file__).resolve().parents[2]
+
+
+class TestModuleNames:
+    def test_plain_module(self):
+        assert module_name_for("src/repro/presto/coordinator.py") == \
+            "repro.presto.coordinator"
+
+    def test_package_init_names_the_package(self):
+        assert module_name_for("src/repro/presto/__init__.py") == "repro.presto"
+
+    def test_non_src_paths_are_not_project_modules(self):
+        assert module_name_for("tests/presto/test_coordinator.py") is None
+        assert module_name_for("benchmarks/hdfs_harness.py") is None
+
+    def test_dotted_prefix_matching_is_component_wise(self):
+        assert dotted_in("repro.sim.kernel", "repro.sim")
+        assert dotted_in("repro.sim", "repro.sim")
+        assert not dotted_in("repro.simulator", "repro.sim")
+
+
+class TestImportClassification:
+    def _graph(self, source, path="src/repro/presto/coordinator.py"):
+        graph = ImportGraph()
+        graph.add_module(path, ast.parse(source))
+        return graph
+
+    def test_top_level_vs_deferred_vs_type_checking(self):
+        graph = self._graph(
+            "from typing import TYPE_CHECKING\n"
+            "import repro.core.page\n"
+            "if TYPE_CHECKING:\n"
+            "    from repro.cluster.membership import ClusterMembership\n"
+            "def create():\n"
+            "    from repro.cluster.membership import ClusterMembership\n",
+        )
+        sites = graph.sites["repro.presto.coordinator"]
+        by_target = {}
+        for site in sites:
+            by_target.setdefault(site.target, []).append(site)
+        assert not by_target["repro.core.page"][0].deferred
+        flavors = {
+            (s.deferred, s.type_checking)
+            for s in by_target["repro.cluster.membership"]
+        }
+        assert flavors == {(False, True), (True, False)}
+
+    def test_relative_imports_resolve_against_the_package(self):
+        graph = self._graph(
+            "from .split import Split\n"
+            "from ..core import page\n",
+            path="src/repro/presto/coordinator.py",
+        )
+        targets = {s.target for s in graph.sites["repro.presto.coordinator"]}
+        assert "repro.presto.split" in targets
+        assert "repro.core.page" in targets
+
+    def test_resolve_trims_symbol_names_to_known_modules(self):
+        graph = ImportGraph()
+        graph.add_module("src/repro/presto/split.py", ast.parse("x = 1"))
+        assert graph.resolve("repro.presto.split.Split") == "repro.presto.split"
+        assert graph.resolve("numpy.random") is None
+
+    def test_cycles_finds_mutual_imports_only(self):
+        graph = ImportGraph()
+        graph.add_module("src/repro/core/a.py",
+                         ast.parse("import repro.storage.b\n"))
+        graph.add_module("src/repro/storage/b.py",
+                         ast.parse("import repro.core.a\n"))
+        graph.add_module("src/repro/sim/c.py",
+                         ast.parse("import repro.core.a\n"))
+        assert graph.cycles() == [["repro.core.a", "repro.storage.b"]]
+
+    def test_deferred_edges_do_not_create_cycles(self):
+        graph = ImportGraph()
+        graph.add_module("src/repro/core/a.py",
+                         ast.parse("import repro.storage.b\n"))
+        graph.add_module(
+            "src/repro/storage/b.py",
+            ast.parse("def back():\n    import repro.core.a\n"),
+        )
+        assert graph.cycles() == []
+
+
+class TestContractData:
+    def test_contracts_are_data_with_stable_names(self):
+        names = [contract.name for contract in DEFAULT_CONTRACTS]
+        assert names == [
+            "sim-substrate-purity",
+            "obs-below-everything",
+            "devtools-self-contained",
+            "presto-cluster-hook",
+            "errors-leaf",
+        ]
+
+    def test_scope_forbid_and_hook_queries(self):
+        contract = Contract(
+            name="x", description="d",
+            scope=("repro.presto",), forbid=("repro.cluster",),
+            runtime_hooks=(("repro.presto.coordinator",
+                            "repro.cluster.membership"),),
+        )
+        assert contract.governs("repro.presto.worker")
+        assert not contract.governs("repro.cluster.membership")
+        assert contract.forbids("repro.cluster.lifecycle")
+        assert contract.sanctions(
+            "repro.presto.coordinator", "repro.cluster.membership.Cluster"
+        )
+        assert not contract.sanctions(
+            "repro.presto.worker", "repro.cluster.membership"
+        )
+
+
+class TestRealTreeContracts:
+    """The actual src/repro tree satisfies every declared contract."""
+
+    def test_real_tree_has_zero_arc_findings(self):
+        driver = LintDriver(rules=[ImportContractRule()], root=REPO_ROOT)
+        assert driver.run(["src"]) == []
+
+    def test_every_scoped_package_exists(self):
+        # a contract scoped to a package that no longer exists silently
+        # governs nothing; keep the data honest
+        for contract in DEFAULT_CONTRACTS:
+            for prefix in contract.scope:
+                rel = Path("src") / Path(*prefix.split("."))
+                assert (
+                    (REPO_ROOT / rel).is_dir()
+                    or (REPO_ROOT / rel.with_suffix(".py")).is_file()
+                ), f"contract {contract.name} scopes missing {prefix}"

@@ -1,0 +1,418 @@
+"""Unit tests for the KRN rule family (repro.devtools.kernelcheck)."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.devtools.kernelcheck import (
+    BlockingCallInProcessRule,
+    LeakedHandleRule,
+    StaleSharedWriteRule,
+    UniteratedProcessRule,
+    is_kernel_process,
+    iter_processes,
+)
+
+PATH = "src/repro/fake/module.py"
+
+
+def run_rule(rule, source, path=PATH):
+    source = textwrap.dedent(source)
+    lines = source.splitlines()
+    tree = ast.parse(source)
+    findings = list(rule.check(tree, path, lines))
+    findings.extend(rule.finish())
+    return findings
+
+
+def processes_in(source):
+    tree = ast.parse(textwrap.dedent(source))
+    return [f.name for f in iter_processes(tree)]
+
+
+class TestProcessDetection:
+    def test_proc_suffix_with_yield_is_a_process(self):
+        assert processes_in(
+            """
+            def refill_proc(n):
+                yield n
+            """
+        ) == ["refill_proc"]
+
+    def test_waitable_yield_marks_a_process_without_the_suffix(self):
+        assert processes_in(
+            """
+            def racer(kernel, a, b):
+                winner = yield any_of(a, b)
+                return winner
+            """
+        ) == ["racer"]
+
+    def test_replay_plan_delegation_marks_a_process(self):
+        assert processes_in(
+            """
+            def replay(plan):
+                elapsed = yield from replay_plan(plan)
+                return elapsed
+            """
+        ) == ["replay"]
+
+    def test_plain_generator_is_not_a_process(self):
+        assert processes_in(
+            """
+            def pages(blocks):
+                for block in blocks:
+                    yield block.page
+            """
+        ) == []
+
+    def test_plain_function_is_not_a_process(self):
+        tree = ast.parse("def f():\n    return 1\n")
+        func = tree.body[0]
+        assert not is_kernel_process(func)
+
+    def test_nested_def_yields_do_not_leak_into_the_outer_function(self):
+        # the outer function only *builds* the generator; it has no
+        # yields of its own and must not be treated as a process
+        assert processes_in(
+            """
+            def build(kernel):
+                def load_proc():
+                    yield Timeout(1.0)
+                return kernel.spawn(load_proc())
+            """
+        ) == ["load_proc"]
+
+
+class TestStaleSharedWrite:
+    def test_write_from_pre_yield_snapshot_is_flagged(self):
+        findings = run_rule(
+            StaleSharedWriteRule(),
+            """
+            def drain_proc(self, cost):
+                tokens = self.tokens
+                yield Timeout(1.0)
+                self.tokens = tokens - cost
+            """,
+        )
+        assert [f.rule_id for f in findings] == ["KRN001"]
+        assert findings[0].snippet == "self.tokens = tokens - cost"
+        assert "self.tokens" in findings[0].message
+
+    def test_augmented_write_from_stale_snapshot_is_flagged(self):
+        findings = run_rule(
+            StaleSharedWriteRule(),
+            """
+            def drain_proc(self, cost):
+                tokens = self.tokens
+                yield Timeout(1.0)
+                self.tokens += tokens
+            """,
+        )
+        assert [f.rule_id for f in findings] == ["KRN001"]
+
+    def test_re_read_after_yield_is_fresh(self):
+        findings = run_rule(
+            StaleSharedWriteRule(),
+            """
+            def drain_proc(self, cost):
+                tokens = self.tokens
+                yield Timeout(1.0)
+                if self.tokens == tokens:
+                    self.tokens = tokens - cost
+            """,
+        )
+        assert findings == []
+
+    def test_write_before_any_yield_is_fine(self):
+        findings = run_rule(
+            StaleSharedWriteRule(),
+            """
+            def drain_proc(self, cost):
+                tokens = self.tokens
+                self.tokens = tokens - cost
+                yield Timeout(1.0)
+            """,
+        )
+        assert findings == []
+
+    def test_rebound_local_is_no_longer_a_snapshot(self):
+        findings = run_rule(
+            StaleSharedWriteRule(),
+            """
+            def drain_proc(self, cost):
+                tokens = self.tokens
+                yield Timeout(1.0)
+                tokens = compute(cost)
+                self.tokens = tokens
+            """,
+        )
+        assert findings == []
+
+    def test_call_derived_writes_are_fine(self):
+        # the worker.execute_split_proc shape: values come from calls and
+        # yield-from results, not stale attribute snapshots
+        findings = run_rule(
+            StaleSharedWriteRule(),
+            """
+            def execute_proc(self, plan):
+                result = self.operator.execute(plan)
+                io_wall = yield from replay_plan(plan)
+                result.input_wall += io_wall
+                self.busy_seconds += result.input_wall
+            """,
+        )
+        assert findings == []
+
+
+class TestLeakedHandle:
+    def test_request_across_yield_without_try_is_flagged(self):
+        findings = run_rule(
+            LeakedHandleRule(),
+            """
+            def read_proc(self, op):
+                request = self.slots.request()
+                yield request
+                self.slots.release(request)
+            """,
+        )
+        assert [f.rule_id for f in findings] == ["KRN002"]
+        assert "resource slot" in findings[0].message
+
+    def test_release_in_finally_is_sanctioned(self):
+        findings = run_rule(
+            LeakedHandleRule(),
+            """
+            def read_proc(self, op):
+                request = self.slots.request()
+                try:
+                    yield request
+                finally:
+                    self.slots.release(request)
+            """,
+        )
+        assert findings == []
+
+    def test_gauge_update_between_acquire_and_try_is_sanctioned(self):
+        # the storage/device.py shape: a couple of non-yield statements
+        # between the acquisition and the guarding try are harmless
+        findings = run_rule(
+            LeakedHandleRule(),
+            """
+            def transfer_proc(self, tracer):
+                request = self.resource.request()
+                self.update_gauges(tracer)
+                arrival = self.clock.now()
+                try:
+                    yield request
+                finally:
+                    self.resource.release(request)
+            """,
+        )
+        assert findings == []
+
+    def test_conditional_acquisition_with_guarded_release_is_sanctioned(self):
+        # the object_store.py shape: optional resource, None-guarded release
+        findings = run_rule(
+            LeakedHandleRule(),
+            """
+            def transfer_proc(self):
+                request = self.connections.request() if self.connections else None
+                try:
+                    if request is not None:
+                        yield request
+                finally:
+                    if request is not None:
+                        self.connections.release(request)
+            """,
+        )
+        assert findings == []
+
+    def test_spawn_handle_raced_without_cleanup_is_flagged(self):
+        findings = run_rule(
+            LeakedHandleRule(),
+            """
+            def race_proc(self, kernel, plan):
+                attempt = kernel.spawn(plan)
+                timer = kernel.timer(1.0)
+                yield any_of(attempt, timer)
+                return attempt.value
+            """,
+        )
+        assert [f.rule_id for f in findings] == ["KRN002", "KRN002"]
+        assert "`attempt`" in findings[0].message
+        assert "`timer`" in findings[1].message
+
+    def test_cancel_in_except_handler_is_sanctioned(self):
+        findings = run_rule(
+            LeakedHandleRule(),
+            """
+            def race_proc(self, kernel, plan):
+                attempt = kernel.spawn(plan)
+                timer = kernel.timer(1.0)
+                try:
+                    yield any_of(attempt, timer)
+                except Cancelled:
+                    attempt.cancel("raced")
+                    timer.cancel()
+                    raise
+                return attempt.value
+            """,
+        )
+        assert findings == []
+
+    def test_yield_between_acquisition_and_try_breaks_the_sanction(self):
+        findings = run_rule(
+            LeakedHandleRule(),
+            """
+            def read_proc(self, op):
+                request = self.slots.request()
+                yield Timeout(0.1)
+                try:
+                    yield request
+                finally:
+                    self.slots.release(request)
+            """,
+        )
+        assert [f.rule_id for f in findings] == ["KRN002"]
+
+    def test_handle_never_crossing_a_yield_is_fine(self):
+        findings = run_rule(
+            LeakedHandleRule(),
+            """
+            def build_proc(self, kernel, plan):
+                yield Timeout(0.1)
+                handle = kernel.spawn(plan)
+                return handle
+            """,
+        )
+        assert findings == []
+
+
+class TestUniteratedProcess:
+    def test_bare_statement_call_is_flagged(self):
+        findings = run_rule(
+            UniteratedProcessRule(),
+            """
+            def warm_proc(pages):
+                yield Timeout(0.1)
+
+            def serve_proc(pages):
+                warm_proc(pages)
+                yield Timeout(0.1)
+            """,
+        )
+        assert [f.rule_id for f in findings] == ["KRN003"]
+        assert "never runs" in findings[0].message
+
+    def test_cross_file_resolution(self):
+        rule = UniteratedProcessRule()
+        first = (
+            "def warm_proc(pages):\n"
+            "    yield Timeout(0.1)\n"
+        )
+        second = (
+            "def handler(pages):\n"
+            "    warm_proc(pages)\n"
+        )
+        findings = list(rule.check(ast.parse(first), "src/repro/a.py",
+                                   first.splitlines()))
+        findings += list(rule.check(ast.parse(second), "src/repro/b.py",
+                                    second.splitlines()))
+        findings += list(rule.finish())
+        assert [(f.path, f.rule_id) for f in findings] == [
+            ("src/repro/b.py", "KRN003"),
+        ]
+
+    def test_yield_of_raw_generator_call_is_flagged(self):
+        findings = run_rule(
+            UniteratedProcessRule(),
+            """
+            def warm_proc(pages):
+                yield Timeout(0.1)
+
+            def serve_proc(pages):
+                yield warm_proc(pages)
+            """,
+        )
+        assert [f.rule_id for f in findings] == ["KRN003"]
+        assert "yield from" in findings[0].hint
+
+    def test_yield_of_literal_is_flagged(self):
+        findings = run_rule(
+            UniteratedProcessRule(),
+            """
+            def pause_proc():
+                yield 0.25
+            """,
+        )
+        assert [f.rule_id for f in findings] == ["KRN003"]
+        assert "non-waitable literal" in findings[0].message
+
+    def test_yield_from_and_spawn_are_fine(self):
+        findings = run_rule(
+            UniteratedProcessRule(),
+            """
+            def warm_proc(pages):
+                yield Timeout(0.1)
+
+            def serve_proc(kernel, pages):
+                yield from warm_proc(pages)
+                kernel.spawn(warm_proc(pages))
+                yield Timeout(0.1)
+            """,
+        )
+        assert findings == []
+
+    def test_non_process_function_named_like_one_is_not_flagged(self):
+        findings = run_rule(
+            UniteratedProcessRule(),
+            """
+            def cleanup_proc(state):
+                state.clear()
+
+            def runner(state):
+                cleanup_proc(state)
+            """,
+        )
+        assert findings == []
+
+
+class TestBlockingCallInProcess:
+    def test_sleep_and_open_inside_a_process_are_flagged(self):
+        findings = run_rule(
+            BlockingCallInProcessRule(),
+            """
+            def flush_proc(path):
+                time.sleep(0.1)
+                handle = open(path)
+                yield Timeout(0.1)
+            """,
+        )
+        assert [f.rule_id for f in findings] == ["KRN004", "KRN004"]
+        assert "time.sleep" in findings[0].message
+        assert "open(...)" in findings[1].message
+
+    def test_blocking_calls_outside_processes_are_not_its_business(self):
+        # per-file policing is DET001/SIM001's job; KRN004 is per-process
+        findings = run_rule(
+            BlockingCallInProcessRule(),
+            """
+            def cli_entry(path):
+                return open(path).read()
+            """,
+        )
+        assert findings == []
+
+    def test_timeout_and_replay_are_fine(self):
+        findings = run_rule(
+            BlockingCallInProcessRule(),
+            """
+            def read_proc(plan, sync):
+                elapsed = yield from replay_plan(plan)
+                yield Timeout(sync)
+                return elapsed
+            """,
+        )
+        assert findings == []
