@@ -75,12 +75,15 @@ def build_datanode(
     admission_threshold: int = 3,
     seed: int = 2024,
     mode: SimMode = SimMode.ANALYTIC,
+    profiler_factory=None,
 ) -> DataNodeSetup:
     """A DataNode pre-loaded with N_BLOCKS finalized blocks.
 
     With ``mode=SimMode.KERNEL`` the node is bound to an event kernel:
     replayed reads run as concurrent processes that queue at the HDD/SSD
     for real, and blocked-process counts come from measured occupancy.
+    ``profiler_factory(clock)`` (kernel mode only) builds a scheduler
+    profiler on the setup's clock and attaches it before any spawn.
     """
     clock = SimClock()
     device = StorageDevice(HDD, clock)
@@ -103,6 +106,8 @@ def build_datanode(
     kernel = None
     if mode is SimMode.KERNEL:
         kernel = Kernel(clock)
+        if profiler_factory is not None:
+            kernel.attach_profiler(profiler_factory(clock))
         cached.attach_kernel(kernel)
     return DataNodeSetup(
         clock=clock, datanode=datanode, cached=cached, kernel=kernel

@@ -36,6 +36,8 @@ from repro.core.metrics import MetricsRegistry
 from repro.core.page import installed_time_source
 from repro.core.metrics_export import to_json_dict
 from repro.obs import (
+    NOOP_PROFILER,
+    KernelProfiler,
     SimTracer,
     SpanBuffer,
     attribute_buffer,
@@ -119,12 +121,14 @@ def run_soak(seed: int, n_requests: int = N_REQUESTS) -> dict:
 
 
 def run_traced_soak(
-    seed: int, n_requests: int = N_REQUESTS
+    seed: int, n_requests: int = N_REQUESTS, profiler=None
 ) -> tuple[dict, SimTracer]:
     """The same soak with a SimTracer installed; returns (result, tracer).
 
     The tracer draws ids from its own derived rng stream, so the traced
-    scenario's virtual results are identical to the untraced run's.
+    scenario's virtual results are identical to the untraced run's.  An
+    optional scheduler ``profiler`` is attached to the soak's event loop
+    (pure observer: it must not change any result either).
     """
     clock = SimClock()
     tracer = SimTracer(
@@ -132,11 +136,28 @@ def run_traced_soak(
     )
     with installed_time_source(clock.now):
         with installed_tracer(tracer):
-            result = _run_soak(clock, seed, n_requests)
+            result = _run_soak(clock, seed, n_requests, profiler=profiler)
     return result, tracer
 
 
-def _run_soak(clock: SimClock, seed: int, n_requests: int) -> dict:
+def run_profiled_soak(
+    seed: int, n_requests: int = N_REQUESTS
+) -> tuple[dict, SimTracer, KernelProfiler]:
+    """Traced soak with a scheduler profiler on the event loop."""
+    clock = SimClock()
+    profiler = KernelProfiler(clock)
+    tracer = SimTracer(
+        clock, RngStream(seed, "chaos-soak-trace"), buffer=SpanBuffer()
+    )
+    with installed_time_source(clock.now):
+        with installed_tracer(tracer):
+            result = _run_soak(clock, seed, n_requests, profiler=profiler)
+    return result, tracer, profiler
+
+
+def _run_soak(
+    clock: SimClock, seed: int, n_requests: int, profiler=None
+) -> dict:
     root = RngStream(seed, "chaos-soak")
     metrics = MetricsRegistry("chaos-soak")
 
@@ -179,6 +200,8 @@ def _run_soak(clock: SimClock, seed: int, n_requests: int) -> dict:
     )
 
     loop = EventLoop(clock)
+    if profiler is not None:
+        loop.attach_profiler(profiler)
     chaos = ChaosInjector(clock=clock, rng=root.child("chaos"))
     chaos.register_all({w.name: _TierNode(client, w.name) for w in workers})
     for name, at, duration in KILLS:
@@ -427,3 +450,52 @@ class TestTracedSoak:
         assert tree_signature(first_tracer.buffer.spans()) == tree_signature(
             second_tracer.buffer.spans()
         )
+
+
+class TestProfiledSoak:
+    """The scheduler profiler as a pure observer on the chaos soak
+    (DESIGN.md §12 acceptance: profiling changes nothing, and the virtual
+    profile is itself deterministic)."""
+
+    N = 480
+
+    def test_profiled_results_match_untraced(self):
+        """A full profiler on the event loop perturbs no soak result."""
+        plain = run_soak(SEED, n_requests=self.N)
+        profiled, __, profiler = run_profiled_soak(SEED, n_requests=self.N)
+        assert profiled == plain
+        counters = profiler.profile.counters()
+        assert counters["events_popped"] > 0
+        assert counters["timer_inserts"] > 0
+
+    def test_noop_profiled_run_identical_results_and_span_trees(self):
+        """NOOP profiler attached: exact same results AND identical span
+        trees as the traced run without any profiler (the acceptance
+        criterion's 'enabling the NOOP profiler changes no simulation
+        results')."""
+        base_result, base_tracer = run_traced_soak(SEED, n_requests=self.N)
+        noop_result, noop_tracer = run_traced_soak(
+            SEED, n_requests=self.N, profiler=NOOP_PROFILER
+        )
+        assert noop_result == base_result
+        assert tree_signature(noop_tracer.buffer.spans()) == tree_signature(
+            base_tracer.buffer.spans()
+        )
+
+    @pytest.mark.determinism
+    def test_profiled_double_run_byte_identical_virtual_profile(self):
+        """Double-run of the traced+profiled soak: the virtual-time profile
+        document and the folded wait-state export are byte-identical (host
+        fields excluded by construction)."""
+        docs = []
+        for __ in range(2):
+            result, __tracer, profiler = run_profiled_soak(
+                SEED, n_requests=self.N
+            )
+            profile = profiler.finalize()
+            docs.append(
+                (profile.to_json(include_host=False),
+                 profile.folded_wait_states(),
+                 result["final_hit_ratio"])
+            )
+        assert docs[0] == docs[1]

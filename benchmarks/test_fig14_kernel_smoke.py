@@ -11,9 +11,10 @@ multiples.  The comparison table is the CI artifact.
 import numpy as np
 import pytest
 
-from harness import emit_report, pct
+from harness import REPORT_DIR, emit_report, pct
 from hdfs_harness import MIB, build_datanode, replay_trace
 from repro.analysis import Table, reduction
+from repro.obs.profiler import KernelProfiler
 from repro.sim.kernel import SimMode
 
 DURATION = 10 * 60.0
@@ -22,9 +23,14 @@ READS_PER_SECOND = 80.0
 WRITES_PER_SECOND = 5.0
 
 
-def run_mode(mode: SimMode):
+def run_mode(mode: SimMode, *, profile: bool = False):
+    profilers = []
     setup = build_datanode(
-        cache_capacity_bytes=12 * MIB, admission_threshold=3, mode=mode
+        cache_capacity_bytes=12 * MIB, admission_threshold=3, mode=mode,
+        profiler_factory=(
+            (lambda clock: profilers.append(KernelProfiler(clock)) or profilers[-1])
+            if profile else None
+        ),
     )
     replay_trace(
         setup,
@@ -34,6 +40,20 @@ def run_mode(mode: SimMode):
         disable_cache_at=DISABLE_AT,
         writes_per_second=WRITES_PER_SECOND,
     )
+    if profile and profilers:
+        # the README flamegraph walkthrough renders this artifact:
+        #   repro-perf-viz speedscope bench_reports/fig14_kernel_profile.folded
+        profile_doc = profilers[0].finalize()
+        REPORT_DIR.mkdir(exist_ok=True)
+        (REPORT_DIR / "fig14_kernel_profile.folded").write_text(
+            profile_doc.folded_wait_states() + "\n", encoding="utf-8"
+        )
+        # per-process rows dropped: one row per replayed block read would
+        # be ~20 MB of artifact for no flamegraph value
+        (REPORT_DIR / "fig14_kernel_profile.json").write_text(
+            profile_doc.to_json(include_host=True, include_processes=False)
+            + "\n", encoding="utf-8"
+        )
     blocked = setup.datanode.device.blocked_per_bucket(60.0)
     base = min(blocked) if blocked else 0
     return [blocked.get(base + minute, 0) for minute in range(int(DURATION // 60))]
@@ -42,7 +62,7 @@ def run_mode(mode: SimMode):
 @pytest.mark.benchmark(group="fig14")
 def test_fig14_kernel_smoke(benchmark):
     kernel_series = benchmark.pedantic(
-        lambda: run_mode(SimMode.KERNEL), rounds=1, iterations=1
+        lambda: run_mode(SimMode.KERNEL, profile=True), rounds=1, iterations=1
     )
     analytic_series = run_mode(SimMode.ANALYTIC)
 

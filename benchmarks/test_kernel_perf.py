@@ -1,0 +1,350 @@
+"""Kernel perf trajectory: the ROADMAP's scheduler throughput ladder.
+
+ROADMAP item 1 wants `repro.sim.kernel` an order of magnitude faster; this
+harness is the baseline every speedup PR diffs against.  A self-contained
+kernel workload -- a feeder pushing requests into a :class:`Channel`, a
+16-worker pool contending on a capacity-4 device resource and a
+capacity-8 remote resource, hot keys hitting the fast path -- runs at
+1K/10K/100K requests and records:
+
+- **work** (deterministic, byte-stable at fixed seed): events fired,
+  requests completed, virtual seconds, hit ratio, process counts.  CI
+  byte-compares this section against the committed seed.
+- **host** (machine-dependent): events/sec, requests/sec, peak RSS
+  (``ru_maxrss``) and per-rung ``tracemalloc`` peak, read only through
+  :mod:`repro.sim.hostclock`.  CI checks these against the seed within a
+  wide ratio band (``repro.tools.perf_viz check-bench``).
+
+The profiler contract is asserted alongside: a NOOP-profiled run changes
+no simulation results, a fully profiled double-run produces a
+byte-identical virtual profile, and wait-state attribution telescopes to
+100% of every process's lifetime.
+
+``KERNEL_PERF_QUICK=1`` drops the 100K rung and emits to
+``BENCH_kernel_quick`` so a dev-loop run never dirties the committed
+3-rung seed.
+
+Run explicitly (benchmarks are not part of tier-1)::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_kernel_perf.py -q
+"""
+
+import json
+import os
+import resource
+import tracemalloc
+
+import pytest
+from harness import REPORT_DIR, emit_json, emit_report
+
+from repro.core.metrics import MetricsRegistry
+from repro.obs.profiler import NOOP_PROFILER, KernelProfiler
+from repro.obs.sampler import TelemetrySampler, format_telemetry
+from repro.sim import hostclock
+from repro.sim.clock import SimClock
+from repro.sim.kernel import Kernel, Timeout
+from repro.sim.rng import RngStream
+from repro.sim.sanitizer import DeterminismHarness
+
+QUICK = bool(os.environ.get("KERNEL_PERF_QUICK"))
+
+SEED = 20240808
+LADDER = (1_000, 10_000) if QUICK else (1_000, 10_000, 100_000)
+
+N_WORKERS = 16
+DEVICE_SLOTS = 4
+REMOTE_SLOTS = 8
+INTERARRIVAL = 0.001      # feeder pushes one request per virtual ms
+HIT_SERVICE = 0.0002      # cached read off the device
+MISS_SERVICE = 0.005      # remote fetch
+HOT_FRACTION = 0.7        # fraction of requests that hit
+
+
+def run_rung(n_requests: int, seed: int, *, clock=None, profiler=None,
+             registry=None, sampler_interval=None):
+    """One ladder rung; returns ``(work_dict, kernel, sampler)``.
+
+    ``work_dict`` contains only deterministic fields -- two calls with the
+    same ``(n_requests, seed)`` must return equal dicts regardless of the
+    attached profiler or the host machine.  A caller that wants a real
+    profile passes the shared ``clock`` it built the profiler on.
+    """
+    clock = clock if clock is not None else SimClock()
+    kernel = Kernel(clock)
+    if profiler is not None:
+        kernel.attach_profiler(profiler)
+    registry = registry if registry is not None else MetricsRegistry()
+    rng = RngStream(seed, f"kernel-perf/{n_requests}")
+    hot = rng.rng.random(n_requests) < HOT_FRACTION
+
+    device = kernel.resource(DEVICE_SLOTS, name="ssd")
+    remote = kernel.resource(REMOTE_SLOTS, name="remote")
+    queue = kernel.channel(name="requests")
+    done = [0]
+
+    sampler = None
+    if sampler_interval is not None:
+        sampler = TelemetrySampler(
+            kernel, registry, interval=sampler_interval, capacity=512
+        )
+        sampler.start()
+
+    def feeder():
+        for i in range(n_requests):
+            yield Timeout(INTERARRIVAL)
+            queue.put(i)
+        for __ in range(N_WORKERS):
+            queue.put(None)
+        if sampler is not None:
+            sampler.stop()
+
+    def worker():
+        while True:
+            item = yield queue.get()
+            if item is None:
+                return
+            pool, service = ((device, HIT_SERVICE) if hot[item]
+                             else (remote, MISS_SERVICE))
+            req = pool.request()
+            yield req
+            try:
+                yield Timeout(service)
+            finally:
+                pool.release(req)
+            registry.counter("get_hits" if hot[item] else "get_misses").inc()
+            registry.gauge("device_queue_depth").set(device.queue_depth)
+            registry.gauge("blocked_processes").set(
+                device.waiting + remote.waiting
+            )
+            done[0] += 1
+
+    for i in range(N_WORKERS):
+        kernel.spawn(worker(), name=f"worker-{i}")
+    kernel.spawn(feeder(), name="feeder")
+    kernel.run_all()
+
+    work = {
+        "requests": done[0],
+        "events": kernel.events_fired,
+        "virtual_seconds": round(clock.now(), 9),
+        "hit_ratio": round(registry.hit_ratio, 9),
+        "processes_spawned": kernel.processes_spawned,
+        "processes_completed": kernel.processes_completed,
+    }
+    assert done[0] == n_requests
+    return work, kernel, sampler
+
+
+def run_profiled_rung(n_requests: int, seed: int):
+    """A rung with a real profiler sharing the kernel clock."""
+    clock = SimClock()
+    profiler = KernelProfiler(clock)
+    work, kernel, __ = run_rung(n_requests, seed, clock=clock,
+                                profiler=profiler)
+    return work, kernel, profiler
+
+
+def measure_rung(n_requests: int, seed: int):
+    """Timing pass + memory pass; returns ``(work, host)`` for one rung."""
+    t0 = hostclock.host_perf_now()
+    work, kernel, __ = run_rung(n_requests, seed)
+    elapsed = hostclock.host_perf_now() - t0
+
+    tracemalloc.start()
+    run_rung(n_requests, seed)
+    __, traced_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    host = {
+        "wall_seconds": round(elapsed, 6),
+        "events_per_sec": round(kernel.events_fired / elapsed, 1),
+        "requests_per_sec": round(n_requests / elapsed, 1),
+        "peak_rss_kb": int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss),
+        "tracemalloc_peak_kb": round(traced_peak / 1024, 1),
+    }
+    return work, host
+
+
+class TestKernelPerfLadder:
+    def test_ladder_and_bench_artifact(self):
+        """Run the ladder, emit BENCH_kernel.json + the report sections."""
+        ladder_work = {}
+        ladder_host = {}
+        for n in LADDER:
+            work, host = measure_rung(n, SEED)
+            ladder_work[str(n)] = work
+            ladder_host[str(n)] = host
+
+        payload = {
+            "schema": "bench-kernel/1",
+            "mode": "quick" if QUICK else "full",
+            "work": {
+                "seed": SEED,
+                "workers": N_WORKERS,
+                "ladder": ladder_work,
+            },
+            "host": {"ladder": ladder_host},
+        }
+        emit_json("BENCH_kernel_quick" if QUICK else "BENCH_kernel", payload)
+
+        # profiled + sampled run at the smallest rung: the artifacts the
+        # CI job uploads (profile JSON, folded stacks, telemetry JSONL)
+        clock = SimClock()
+        profiler = KernelProfiler(clock)
+        registry = MetricsRegistry()
+        registry.enable_gauge_history(512)
+        __, kernel, sampler = run_rung(
+            LADDER[0], SEED, clock=clock, profiler=profiler,
+            registry=registry, sampler_interval=0.05,
+        )
+        profile = profiler.finalize()
+        REPORT_DIR.mkdir(exist_ok=True)
+        (REPORT_DIR / "kernel_profile.json").write_text(
+            profile.to_json(include_host=True) + "\n", encoding="utf-8"
+        )
+        (REPORT_DIR / "kernel_profile.folded").write_text(
+            profile.folded_wait_states() + "\n", encoding="utf-8"
+        )
+        (REPORT_DIR / "telemetry.jsonl").write_text(
+            sampler.to_jsonl() + "\n", encoding="utf-8"
+        )
+
+        lines = [
+            f"seed={SEED} workers={N_WORKERS} "
+            f"device_slots={DEVICE_SLOTS} remote_slots={REMOTE_SLOTS}",
+            "",
+            f"{'requests':>10} {'events':>10} {'virt s':>10} {'hit':>8} "
+            f"{'events/s':>12} {'req/s':>12} {'rss KB':>10} {'py-peak KB':>11}",
+        ]
+        for n in LADDER:
+            w, h = ladder_work[str(n)], ladder_host[str(n)]
+            lines.append(
+                f"{w['requests']:>10} {w['events']:>10} "
+                f"{w['virtual_seconds']:>10.3f} {w['hit_ratio']:>8.4f} "
+                f"{h['events_per_sec']:>12.0f} {h['requests_per_sec']:>12.0f} "
+                f"{h['peak_rss_kb']:>10} {h['tracemalloc_peak_kb']:>11.1f}"
+            )
+        lines.append("")
+        lines.append(f"wait-state attribution at {LADDER[0]} requests "
+                     "(virtual seconds):")
+        for ptype, states in sorted(profile.wait_states().items()):
+            lines.append(
+                f"  {ptype:<18} ready={states['ready']:.3f} "
+                f"blocked={states['blocked']:.3f} "
+                f"sleeping={states['sleeping']:.3f}"
+            )
+        emit_report("kernel_perf", "\n".join(lines))
+        emit_report("telemetry", format_telemetry(sampler))
+
+        for n in LADDER:
+            assert ladder_work[str(n)]["requests"] == n
+            assert ladder_work[str(n)]["events"] > n  # >1 event per request
+            assert 0.5 < ladder_work[str(n)]["hit_ratio"] < 0.9
+            assert ladder_host[str(n)]["events_per_sec"] > 0
+
+    def test_work_section_byte_stable(self):
+        """Same seed, same rung -> byte-identical work JSON."""
+        a, __, __ = run_rung(1_000, SEED)
+        b, __, __ = run_rung(1_000, SEED)
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+    def test_different_seed_diverges(self):
+        a, __, __ = run_rung(1_000, SEED)
+        c, __, __ = run_rung(1_000, SEED + 1)
+        assert a != c
+
+
+class TestProfilerContract:
+    """The acceptance criteria the profiler must uphold on a real workload."""
+
+    def test_noop_profiler_changes_no_results(self):
+        bare, __, __ = run_rung(1_000, SEED)
+        noop, kernel, __ = run_rung(1_000, SEED, profiler=NOOP_PROFILER)
+        assert bare == noop
+        assert kernel._profiling is False
+
+    def test_full_profiler_changes_no_results(self):
+        bare, __, __ = run_rung(1_000, SEED)
+        profiled, __, __ = run_profiled_rung(1_000, SEED)
+        assert bare == profiled
+
+    def test_profiled_double_run_virtual_profile_byte_identical(self):
+        docs = []
+        for __ in range(2):
+            __, __, profiler = run_profiled_rung(1_000, SEED)
+            profile = profiler.finalize()
+            docs.append(profile.to_json(include_host=False))
+        assert docs[0] == docs[1]
+
+    def test_wait_states_cover_every_lifetime(self):
+        __, kernel, profiler = run_profiled_rung(2_000, SEED)
+        profile = profiler.finalize()
+        rows = profile.per_process()
+        assert len(rows) == kernel.processes_spawned
+        for row in rows:
+            states = row["states"]
+            total = (states["ready"] + states["running"]
+                     + states["blocked"] + states["sleeping"])
+            # exact: lifetime is defined as this sum (same floats)
+            assert total == row["lifetime"]
+            # and the sum telescopes back to the observed lifespan
+            assert row["end"] is not None
+            assert abs(row["lifetime"] - (row["end"] - row["birth"])) < 1e-9
+
+    def test_noop_overhead_under_two_percent(self):
+        """Attaching the NOOP profiler must not slow the kernel.
+
+        The guarded hook sites leave the unprofiled hot path untouched, so
+        the two timings sample the same code; interleaved min-of-N keeps
+        machine noise out of the comparison.  <2% is the ISSUE's bound.
+        """
+        n = 400
+
+        def once(attach_noop: bool) -> float:
+            t0 = hostclock.host_perf_now()
+            run_rung(n, SEED,
+                     profiler=NOOP_PROFILER if attach_noop else None)
+            return hostclock.host_perf_now() - t0
+
+        for __ in range(3):  # warm both variants before sampling
+            once(False)
+            once(True)
+        bare = noop = None
+        for __ in range(3):
+            samples = [(once(False), once(True)) for __ in range(12)]
+            bare = min(s[0] for s in samples)
+            noop = min(s[1] for s in samples)
+            if noop <= bare * 1.02:
+                return
+        assert noop <= bare * 1.02, (
+            f"NOOP profiler overhead {100 * (noop / bare - 1):.2f}% "
+            f"exceeds 2% (bare={bare:.4f}s noop={noop:.4f}s)"
+        )
+
+
+class TestKernelPerfDeterminism:
+    @pytest.mark.determinism
+    def test_sanitizer_double_run_profile_hash_matches(self):
+        """The CI sanitizer gate: a profiled rung replayed twice from one
+        seed must fold identical virtual profiles (and identical work
+        results) into the event trail -- host fields excluded."""
+
+        def scenario(trace):
+            work, __, profiler = run_profiled_rung(1_000, SEED)
+            profile = profiler.finalize()
+            trace.record(
+                "kernel-perf", work["virtual_seconds"], "ladder",
+                detail=json.dumps(work, sort_keys=True),
+            )
+            trace.record(
+                "virtual-profile", work["virtual_seconds"], "profiler",
+                detail=json.dumps(profile.virtual_report(), sort_keys=True),
+            )
+            trace.record(
+                "folded", work["virtual_seconds"], "profiler",
+                detail=profile.folded_wait_states(),
+            )
+            return work
+
+        report = DeterminismHarness(scenario).check()
+        assert report.deterministic

@@ -2,7 +2,7 @@
 
 from repro.analysis.percentile import percentile, percentiles, reduction
 from repro.analysis.report import Table, format_bytes, format_seconds
-from repro.analysis.timeseries import bucket_series, rate_series
+from repro.analysis.timeseries import RingSeries, bucket_series, rate_series
 
 __all__ = [
     "percentile",
@@ -11,6 +11,7 @@ __all__ = [
     "Table",
     "format_bytes",
     "format_seconds",
+    "RingSeries",
     "bucket_series",
     "rate_series",
 ]

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -55,3 +56,72 @@ def mean_of(series: Iterable[float]) -> float:
     """Mean of a series; 0.0 if empty."""
     values = list(series)
     return float(np.mean(values)) if values else 0.0
+
+
+class RingSeries:
+    """A bounded ``(timestamp, value)`` time series that drops the oldest.
+
+    Backing store for continuous telemetry: gauge history and the kernel
+    telemetry sampler append one point per sampling tick, and a soak that
+    runs for a million virtual seconds must not grow memory without bound.
+    ``dropped`` counts evictions so consumers can tell a complete series
+    from a truncated one.
+    """
+
+    __slots__ = ("capacity", "_points", "dropped")
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._points: deque[tuple[float, float]] = deque(maxlen=capacity)
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def append(self, timestamp: float, value: float) -> None:
+        """Record a point; evicts the oldest point when at capacity."""
+        if len(self._points) == self.capacity:
+            self.dropped += 1
+        self._points.append((float(timestamp), float(value)))
+
+    def items(self) -> list[tuple[float, float]]:
+        """Retained points, oldest first."""
+        return list(self._points)
+
+    def timestamps(self) -> list[float]:
+        return [t for t, __ in self._points]
+
+    def values(self) -> list[float]:
+        return [v for __, v in self._points]
+
+    def last(self) -> tuple[float, float] | None:
+        """Most recent point, or None when empty."""
+        return self._points[-1] if self._points else None
+
+    def merge(self, other: "RingSeries") -> "RingSeries":
+        """Merge two series into a new one (timestamp order, stable sort).
+
+        Merge-safe snapshotting: per-node registries keep their own
+        histories; an aggregate view interleaves them without mutating
+        either side.  The result's capacity is the larger of the two and
+        the newest points win when the merge overflows it.
+        """
+        merged = RingSeries(max(self.capacity, other.capacity))
+        points = sorted(self.items() + other.items(), key=lambda tv: tv[0])
+        overflow = len(points) - merged.capacity
+        if overflow > 0:
+            points = points[overflow:]
+        merged._points.extend(points)
+        merged.dropped = max(overflow, 0) + self.dropped + other.dropped
+        return merged
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot (sorted-key friendly; no numpy types)."""
+        return {
+            "capacity": self.capacity,
+            "dropped": self.dropped,
+            "times": self.timestamps(),
+            "values": self.values(),
+        }

@@ -298,10 +298,21 @@ DEFAULT_CONTRACTS: tuple[Contract, ...] = (
         name="obs-below-everything",
         description=(
             "repro.obs (tracing) must stay importable from any layer, so "
-            "it imports neither domain packages nor the sim substrate"
+            "it imports neither domain packages nor the sim substrate at "
+            "import time; the kernel instruments (profiler, telemetry "
+            "sampler) reach down only through deferred sanctioned hooks"
         ),
         scope=("repro.obs",),
         forbid=_DOMAIN_PACKAGES + ("repro.devtools", "repro.sim"),
+        runtime_hooks=(
+            # the scheduler profiler classifies sim waitables and reads
+            # the sanctioned host clock, both lazily at attach/step time
+            ("repro.obs.profiler", "repro.sim"),
+            # the telemetry sampler yields kernel Timeouts and buffers
+            # points in analysis RingSeries, created on first use
+            ("repro.obs.sampler", "repro.sim.kernel"),
+            ("repro.obs.sampler", "repro.analysis.timeseries"),
+        ),
     ),
     Contract(
         name="devtools-self-contained",

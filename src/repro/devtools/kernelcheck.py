@@ -504,7 +504,7 @@ class UniteratedProcessRule(Rule):
 
 _BLOCKING_TIME_ATTRS = {
     "sleep", "time", "monotonic", "perf_counter", "time_ns",
-    "monotonic_ns", "perf_counter_ns",
+    "monotonic_ns", "perf_counter_ns", "process_time", "process_time_ns",
 }
 _BLOCKING_ROOTS = {"requests", "socket", "urllib", "subprocess", "shutil"}
 _BLOCKING_OS_CHAINS = {"os.system", "os.popen", "os.remove", "os.unlink"}

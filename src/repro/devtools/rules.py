@@ -23,7 +23,7 @@ SNAKE_CASE = re.compile(r"^[a-z][a-z0-9_]*$")
 
 _WALL_CLOCK_ATTRS = {
     "time", "monotonic", "perf_counter", "time_ns", "monotonic_ns",
-    "perf_counter_ns",
+    "perf_counter_ns", "process_time", "process_time_ns",
 }
 _TIME_MODULE_NAMES = {"time", "_time"}
 _DATETIME_NOW_ATTRS = {"now", "utcnow", "today"}
@@ -95,7 +95,9 @@ class NoWallClockRule(Rule):
     make two runs of the same seed diverge; every timestamp must come from
     a :class:`~repro.sim.clock.SimClock` or an injected time source.  The
     only sanctioned homes of real time are the ``WallClock`` implementation
-    itself and the documented ``core/page.py`` time-source shim.
+    itself, the documented ``core/page.py`` time-source shim, and the
+    ``sim/hostclock.py`` host-clock API the kernel profiler measures
+    host-CPU cost through (host readings never feed simulation decisions).
     """
 
     rule_id = "DET001"
@@ -103,6 +105,7 @@ class NoWallClockRule(Rule):
     allow = (
         "src/repro/sim/clock.py",      # WallClock is the one wall-time impl
         "src/repro/core/page.py",      # documented set_time_source() shim
+        "src/repro/sim/hostclock.py",  # sanctioned host-clock API (profiling)
         "tests/core/test_page.py",     # exercises the shim against real time
     )
 

@@ -477,6 +477,8 @@ class Process:
             self._gen.close()
             self._complete(None, Cancelled(reason or "cancelled before start"),
                            cancelled=True)
+            if self.kernel._profiling:
+                self.kernel.profiler.on_exit(self)
             return True
         if self._cleanup is not None:
             self._cleanup()
@@ -502,15 +504,23 @@ class Process:
 
 
 class _TimerHandle:
-    """Cancellation handle for a scheduled callback."""
+    """Cancellation handle for a scheduled callback.
 
-    __slots__ = ("cancelled",)
+    ``on_cancel`` is set only by a profiling kernel (timer-cancel
+    counting); the unprofiled path pays one ``None`` store at creation.
+    """
+
+    __slots__ = ("cancelled", "on_cancel")
 
     def __init__(self) -> None:
         self.cancelled = False
+        self.on_cancel: Callable[[], None] | None = None
 
     def cancel(self) -> None:
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self.on_cancel is not None:
+                self.on_cancel()
 
 
 class Kernel:
@@ -537,6 +547,24 @@ class Kernel:
         self.processes_spawned = 0
         self.processes_completed = 0
         self.processes_cancelled = 0
+        # non-cancelled events drained by run_until/run_all; always counted
+        # (one int add per event) so perf harnesses need no profiler
+        self.events_fired = 0
+        # pluggable scheduler profiler (repro.obs.profiler); duck-typed so
+        # this module never imports obs beyond the tracer slot.  Every hook
+        # site is guarded by the cached bool, keeping the unprofiled hot
+        # path at one attribute read per operation.
+        self.profiler: Any = None
+        self._profiling = False
+
+    def attach_profiler(self, profiler: Any) -> None:
+        """Install a scheduler profiler (attach before spawning processes).
+
+        Pass ``repro.obs.profiler.NOOP_PROFILER`` (or any object with
+        ``enabled = False``) to explicitly disable; hooks then stay cold.
+        """
+        self.profiler = profiler
+        self._profiling = bool(getattr(profiler, "enabled", False))
 
     # -- timer API (subsumes the old EventLoop) -----------------------------
 
@@ -551,6 +579,9 @@ class Kernel:
             )
         handle = _TimerHandle()
         heapq.heappush(self._heap, (when, next(self._seq), handle, callback))
+        if self._profiling:
+            handle.on_cancel = self.profiler.on_timer_cancel
+            self.profiler.on_heap_push(len(self._heap), timer=True)
         return handle
 
     def call_after(self, delay: float, callback: Callable[[], None]) -> _TimerHandle:
@@ -576,8 +607,13 @@ class Kernel:
                     self._heap,
                     (self.clock.now() + interval, next(self._seq), handle, fire),
                 )
+                if self._profiling:
+                    self.profiler.on_heap_push(len(self._heap), timer=True)
 
         heapq.heappush(self._heap, (first, next(self._seq), handle, fire))
+        if self._profiling:
+            handle.on_cancel = self.profiler.on_timer_cancel
+            self.profiler.on_heap_push(len(self._heap), timer=True)
         return handle
 
     def run_until(self, deadline: float) -> None:
@@ -585,9 +621,14 @@ class Kernel:
         while self._heap and self._heap[0][0] <= deadline:
             when, __, handle, callback = heapq.heappop(self._heap)
             if handle.cancelled:
+                if self._profiling:
+                    self.profiler.on_event_pop(True)
                 continue
             self.clock.advance_to(when)
             callback()
+            self.events_fired += 1
+            if self._profiling:
+                self.profiler.on_event_pop(False)
         self.clock.advance_to(deadline)
 
     def run_all(self, *, max_events: int = 10_000_000) -> None:
@@ -596,9 +637,14 @@ class Kernel:
         while self._heap:
             when, __, handle, callback = heapq.heappop(self._heap)
             if handle.cancelled:
+                if self._profiling:
+                    self.profiler.on_event_pop(True)
                 continue
             self.clock.advance_to(when)
             callback()
+            self.events_fired += 1
+            if self._profiling:
+                self.profiler.on_event_pop(False)
             fired += 1
             if fired >= max_events:
                 raise KernelError(
@@ -643,6 +689,8 @@ class Kernel:
         process._start_handle = self.call_at(
             when, lambda: self._step(process, value=None)
         )
+        if self._profiling:
+            self.profiler.on_spawn(process)
         return process
 
     # -- the process driver -------------------------------------------------
@@ -654,6 +702,9 @@ class Kernel:
             return
         process.started = True
         process._cleanup = None
+        profiling = self._profiling
+        if profiling:
+            self.profiler.on_resume_start(process)
         tracer = current_tracer()
         has_context = hasattr(tracer, "capture_context")
         if has_context:
@@ -671,19 +722,30 @@ class Kernel:
             except StopIteration as stop:
                 self.processes_completed += 1
                 process._complete(stop.value, None)
+                if profiling:
+                    self.profiler.on_exit(process)
                 return
             except Cancelled as cancelled_exc:
                 self.processes_cancelled += 1
                 process._complete(None, cancelled_exc, cancelled=True)
+                if profiling:
+                    self.profiler.on_exit(process)
                 return
             except Exception as error:
                 self.processes_completed += 1
                 had_waiters = bool(process._callbacks)
                 process._complete(None, error)
+                if profiling:
+                    self.profiler.on_exit(process)
                 if not had_waiters and exc is None:
                     # nobody is joining: fail fast rather than swallow
                     raise
                 return
+            if profiling:
+                # record the suspension BEFORE arming the wait: an
+                # already-done waitable schedules the wakeup immediately,
+                # and the wakeup hook must see the blocked state
+                self.profiler.on_wait_yield(process, yielded)
             self._wait_on(process, yielded)
         finally:
             _CURRENT_KERNEL.pop()
@@ -691,6 +753,8 @@ class Kernel:
             if has_context:
                 process._span_context = tracer.capture_context()
                 tracer.restore_context(saved_context)
+            if profiling:
+                self.profiler.on_resume_end(process)
 
     def _resume_at_now(self, process: Process, value: Any = None,
                        exc: BaseException | None = None) -> _TimerHandle:
@@ -700,6 +764,9 @@ class Kernel:
             (self.clock.now(), next(self._seq), handle,
              lambda: self._step(process, value=value, exc=exc)),
         )
+        if self._profiling:
+            self.profiler.on_heap_push(len(self._heap), timer=False)
+            self.profiler.on_runnable(process)
         return handle
 
     def _wait_on(self, process: Process, yielded: Any) -> None:

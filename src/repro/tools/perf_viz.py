@@ -1,0 +1,316 @@
+"""``repro-perf-viz``: render and check kernel performance artifacts.
+
+Consumes the scheduler profiler's outputs (DESIGN.md §12) and the
+``BENCH_kernel.json`` perf ladder:
+
+- ``folded``      profile JSON -> folded stacks (``flamegraph.pl`` input)
+- ``speedscope``  folded stacks -> a speedscope.app JSON document
+- ``report``      profile JSON -> human-readable wait-state/counter text
+- ``check-bench`` compare a fresh ``BENCH_kernel.json`` against the
+  committed seed: the deterministic ``work`` section must match byte for
+  byte; host-measured rates only have to be within a (wide) ratio band,
+  catching order-of-magnitude regressions without flaking on machine noise.
+
+Every error path (missing file, malformed JSON, wrong schema) exits
+non-zero with a message on stderr, so CI fails loudly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any
+
+
+def folded_from_doc(doc: dict, *, host: bool = False) -> str:
+    """Folded stacks from a profile JSON document (``KernelProfile.to_json``).
+
+    Virtual mode folds the wait-state details (virtual microseconds);
+    ``host=True`` folds per-ptype host-CPU microseconds instead.
+    """
+    lines = []
+    if host:
+        per_ptype = doc.get("host", {}).get("per_ptype", {})
+        for ptype in sorted(per_ptype):
+            us = int(round(per_ptype[ptype].get("cpu_seconds", 0.0) * 1e6))
+            if us > 0:
+                lines.append(f"{ptype} {us}")
+    else:
+        details = doc.get("virtual", {}).get("wait_details", {})
+        for frames in sorted(details):
+            us = int(round(details[frames] * 1e6))
+            if us > 0:
+                lines.append(f"{frames} {us}")
+    return "\n".join(lines)
+
+
+def parse_folded(text: str) -> list[tuple[list[str], int]]:
+    """Parse folded-stack lines into ``([frame, ...], value)`` entries."""
+    entries = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        stack, sep, value = line.rpartition(" ")
+        if not sep or not stack:
+            raise ValueError(f"line {lineno}: not a folded stack: {raw!r}")
+        try:
+            weight = int(value)
+        except ValueError as exc:
+            raise ValueError(f"line {lineno}: bad weight {value!r}") from exc
+        if weight < 0:
+            raise ValueError(f"line {lineno}: negative weight {weight}")
+        entries.append((stack.split(";"), weight))
+    return entries
+
+
+def speedscope_doc(entries: list[tuple[list[str], int]],
+                   name: str = "kernel-profile") -> dict:
+    """Build a speedscope ``sampled`` profile from folded entries.
+
+    Weights are virtual microseconds; open the result at
+    https://www.speedscope.app (or any compatible viewer).
+    """
+    frame_index: dict[str, int] = {}
+    samples: list[list[int]] = []
+    weights: list[int] = []
+    for frames, weight in entries:
+        if weight <= 0:
+            continue
+        stack = []
+        for frame in frames:
+            if frame not in frame_index:
+                frame_index[frame] = len(frame_index)
+            stack.append(frame_index[frame])
+        samples.append(stack)
+        weights.append(weight)
+    return {
+        "$schema": "https://www.speedscope.app/file-format-schema.json",
+        "shared": {"frames": [{"name": f} for f in frame_index]},
+        "profiles": [
+            {
+                "type": "sampled",
+                "name": name,
+                "unit": "microseconds",
+                "startValue": 0,
+                "endValue": sum(weights),
+                "samples": samples,
+                "weights": weights,
+            }
+        ],
+        "name": name,
+    }
+
+
+def format_profile(doc: dict) -> str:
+    """Human-readable profile: counters, wait states, host CPU if present."""
+    virtual = doc.get("virtual")
+    if virtual is None:
+        raise ValueError("profile document has no 'virtual' section")
+    lines = ["== event-loop counters =="]
+    for key, value in sorted(virtual.get("counters", {}).items()):
+        lines.append(f"{key:<20} {value:>12}")
+    lines.append("")
+    lines.append("== wait-state attribution (virtual seconds) ==")
+    lines.append(
+        f"{'process type':<24} {'ready':>10} {'running':>10} "
+        f"{'blocked':>10} {'sleeping':>10} {'total':>10}"
+    )
+    for ptype, states in sorted(virtual.get("wait_states", {}).items()):
+        total = sum(states.values())
+        lines.append(
+            f"{ptype:<24} {states.get('ready', 0.0):>10.3f} "
+            f"{states.get('running', 0.0):>10.3f} "
+            f"{states.get('blocked', 0.0):>10.3f} "
+            f"{states.get('sleeping', 0.0):>10.3f} {total:>10.3f}"
+        )
+    host = doc.get("host")
+    if host:
+        lines.append("")
+        lines.append("== host CPU per resume (not determinism-checked) ==")
+        lines.append(f"{'process type':<24} {'resumes':>10} "
+                     f"{'cpu ms':>10} {'us/resume':>10}")
+        for ptype, row in sorted(host.get("per_ptype", {}).items()):
+            lines.append(
+                f"{ptype:<24} {row.get('resumes', 0):>10} "
+                f"{1e3 * row.get('cpu_seconds', 0.0):>10.2f} "
+                f"{row.get('cpu_us_per_resume', 0.0):>10.2f}"
+            )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# BENCH_kernel.json checking
+
+BENCH_SCHEMA = "bench-kernel/1"
+
+
+def _numeric_leaves(node: Any, prefix: str = "") -> dict[str, float]:
+    out: dict[str, float] = {}
+    if isinstance(node, dict):
+        for key in node:
+            out.update(_numeric_leaves(node[key], f"{prefix}.{key}" if prefix else key))
+    elif isinstance(node, list):
+        for i, item in enumerate(node):
+            out.update(_numeric_leaves(item, f"{prefix}[{i}]" if prefix else f"[{i}]"))
+    elif isinstance(node, bool):
+        pass
+    elif isinstance(node, (int, float)):
+        out[prefix] = float(node)
+    return out
+
+
+def check_bench(candidate: dict, seed: dict, *, max_ratio: float) -> list[str]:
+    """Compare a fresh bench document against the committed seed.
+
+    Returns a list of problems (empty = pass).  The ``work`` section is
+    deterministic by contract and must serialize identically; ``host``
+    numbers are machine-dependent and only checked for structural equality
+    and a worst-case ratio band.
+    """
+    problems = []
+    for doc, label in ((candidate, "candidate"), (seed, "seed")):
+        if doc.get("schema") != BENCH_SCHEMA:
+            problems.append(
+                f"{label}: schema {doc.get('schema')!r} != {BENCH_SCHEMA!r}"
+            )
+    if problems:
+        return problems
+
+    work_new = json.dumps(candidate.get("work"), sort_keys=True)
+    work_old = json.dumps(seed.get("work"), sort_keys=True)
+    if work_new != work_old:
+        problems.append(
+            "work section differs from seed (deterministic fields changed; "
+            "if intentional, re-commit bench_reports/BENCH_kernel.json)"
+        )
+
+    host_new = _numeric_leaves(candidate.get("host", {}))
+    host_old = _numeric_leaves(seed.get("host", {}))
+    if set(host_new) != set(host_old):
+        missing = sorted(set(host_old) - set(host_new))
+        extra = sorted(set(host_new) - set(host_old))
+        problems.append(f"host keys differ: missing={missing} extra={extra}")
+        return problems
+    for key in sorted(host_old):
+        old, new = host_old[key], host_new[key]
+        if old <= 0 or new <= 0:
+            if old <= 0 and new <= 0:
+                continue
+            problems.append(f"host.{key}: {old} -> {new} (sign change)")
+            continue
+        ratio = new / old if new > old else old / new
+        if ratio > max_ratio:
+            problems.append(
+                f"host.{key}: {old:.4g} -> {new:.4g} "
+                f"(ratio {ratio:.1f}x exceeds {max_ratio:g}x band)"
+            )
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# CLI
+
+
+def _load_json(path: str) -> dict:
+    try:
+        doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ValueError(f"cannot read {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: malformed JSON: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise ValueError(f"{path}: expected a JSON object")
+    return doc
+
+
+def _write_or_print(text: str, out: str | None) -> None:
+    if out:
+        Path(out).write_text(text + "\n", encoding="utf-8")
+        print(f"wrote {out}")
+    else:
+        print(text)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-perf-viz",
+        description="Render/check kernel profiler and perf-ladder artifacts.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_folded = sub.add_parser(
+        "folded", help="profile JSON -> folded stacks (flamegraph input)")
+    p_folded.add_argument("profile", help="profile JSON (KernelProfile.to_json)")
+    p_folded.add_argument("--host", action="store_true",
+                          help="fold host-CPU per ptype instead of wait states")
+    p_folded.add_argument("--out", default=None)
+
+    p_speed = sub.add_parser(
+        "speedscope", help="folded stacks -> speedscope.app JSON")
+    p_speed.add_argument("folded", help="folded-stack text file")
+    p_speed.add_argument("--name", default="kernel-profile")
+    p_speed.add_argument("--out", default=None)
+
+    p_report = sub.add_parser(
+        "report", help="profile JSON -> human-readable text")
+    p_report.add_argument("profile")
+    p_report.add_argument("--out", default=None)
+
+    p_check = sub.add_parser(
+        "check-bench", help="diff BENCH_kernel.json against the committed seed")
+    p_check.add_argument("candidate", help="freshly produced BENCH_kernel.json")
+    p_check.add_argument("seed", help="committed seed BENCH_kernel.json")
+    p_check.add_argument(
+        "--max-ratio", type=float, default=25.0,
+        help="allowed worst-case ratio for host-measured numbers "
+             "(default 25x: catches order-of-magnitude regressions, "
+             "tolerates machine variance)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "folded":
+            doc = _load_json(args.profile)
+            text = folded_from_doc(doc, host=args.host)
+            if not text:
+                raise ValueError(
+                    f"{args.profile}: no "
+                    f"{'host-CPU' if args.host else 'wait-state'} data to fold"
+                )
+            _write_or_print(text, args.out)
+        elif args.command == "speedscope":
+            try:
+                folded_text = Path(args.folded).read_text(encoding="utf-8")
+            except OSError as exc:
+                raise ValueError(f"cannot read {args.folded}: {exc}") from exc
+            entries = parse_folded(folded_text)
+            if not entries:
+                raise ValueError(f"{args.folded}: no folded stacks found")
+            doc = speedscope_doc(entries, name=args.name)
+            _write_or_print(json.dumps(doc, indent=2, sort_keys=True), args.out)
+        elif args.command == "report":
+            doc = _load_json(args.profile)
+            _write_or_print(format_profile(doc), args.out)
+        elif args.command == "check-bench":
+            candidate = _load_json(args.candidate)
+            seed = _load_json(args.seed)
+            problems = check_bench(candidate, seed, max_ratio=args.max_ratio)
+            if problems:
+                for problem in problems:
+                    print(f"FAIL: {problem}", file=sys.stderr)
+                return 1
+            print(f"ok: {args.candidate} matches seed "
+                  f"(work byte-identical, host within {args.max_ratio:g}x)")
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

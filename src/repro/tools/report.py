@@ -9,6 +9,7 @@ to diff against EXPERIMENTS.md after a change.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -36,6 +37,8 @@ SECTION_ORDER = [
     ("churn_soak", "Churn soak — membership, admission, recovery SLOs"),
     ("cluster_membership", "Cluster membership — node health"),
     ("trace_attribution", "Trace attribution — per-query latency breakdown"),
+    ("kernel_perf", "Kernel perf — scheduler throughput ladder + profile"),
+    ("telemetry", "Telemetry — continuous virtual-time metrics"),
 ]
 
 
@@ -69,6 +72,25 @@ def format_membership(
             f"{f'{last:.1f}s' if last is not None else '-'}"
         )
     return "\n".join(lines)
+
+
+def validate_bench_json(report_dir: Path) -> list[str]:
+    """Sanity-check every ``BENCH_*.json`` machine artifact in the dir.
+
+    These files are the perf-trajectory record CI diffs between PRs; a
+    truncated or hand-mangled one must fail the report step, not silently
+    ride along.  Returns a list of problems (empty = all valid).
+    """
+    problems = []
+    for path in sorted(report_dir.glob("BENCH_*.json")):
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            problems.append(f"{path.name}: {exc}")
+            continue
+        if not isinstance(doc, dict) or not doc:
+            problems.append(f"{path.name}: expected a non-empty JSON object")
+    return problems
 
 
 def collate(report_dir: Path) -> str:
@@ -125,6 +147,11 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {report_dir} is not a directory "
               f"(run `pytest benchmarks/ --benchmark-only` first)",
               file=sys.stderr)
+        return 1
+    problems = validate_bench_json(report_dir)
+    if problems:
+        for problem in problems:
+            print(f"error: {problem}", file=sys.stderr)
         return 1
     document = collate(report_dir)
     if args.out:

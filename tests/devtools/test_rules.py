@@ -5,6 +5,7 @@ import ast
 
 import pytest
 
+from repro.devtools.config import LintConfig
 from repro.devtools.rules import (
     AccountedExceptRule,
     MetricNameRule,
@@ -328,3 +329,35 @@ class TestCHN001RingMutation:
         assert not config.applies(rule, "src/repro/presto/hashring.py")
         assert not config.applies(rule, "src/repro/cluster/membership.py")
         assert not config.applies(rule, "tests/presto/test_hashring.py")
+
+
+class TestDET001HostClockAllowlist:
+    """The sanctioned host-clock API is the only new home of host time."""
+
+    @pytest.mark.parametrize("snippet", [
+        "import time\nx = time.process_time()",
+        "import time\nx = time.process_time_ns()",
+        "import time\nx = time.perf_counter_ns()",
+    ])
+    def test_cpu_clock_reads_flagged_like_wall_reads(self, snippet):
+        findings = run_rule(NoWallClockRule(), snippet)
+        assert len(findings) == 1
+        assert findings[0].rule_id == "DET001"
+
+    def test_hostclock_module_is_allowlisted(self):
+        config = LintConfig()
+        rule = NoWallClockRule()
+        assert not config.applies(rule, "src/repro/sim/hostclock.py")
+
+    @pytest.mark.parametrize("path", [
+        "src/repro/sim/kernel.py",
+        "src/repro/obs/profiler.py",
+        "benchmarks/test_kernel_perf.py",
+        "src/repro/sim/hostclock_helpers.py",  # prefix match is exact-file
+    ])
+    def test_everywhere_else_still_in_scope(self, path):
+        config = LintConfig()
+        rule = NoWallClockRule()
+        assert config.applies(rule, path)
+        code = "import time\nx = time.perf_counter()"
+        assert len(run_rule(rule, code, path=path)) == 1

@@ -1,0 +1,220 @@
+"""Tests for the repro-perf-viz CLI (repro.tools.perf_viz)."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.tools.perf_viz import (
+    BENCH_SCHEMA,
+    check_bench,
+    folded_from_doc,
+    format_profile,
+    main,
+    parse_folded,
+    speedscope_doc,
+)
+
+_SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
+
+
+def profile_doc():
+    """A minimal KernelProfile.to_json-shaped document."""
+    return {
+        "virtual": {
+            "counters": {"events_popped": 12, "spawns": 3},
+            "wait_states": {
+                "worker": {"ready": 0.0, "running": 0.0,
+                           "blocked": 1.5, "sleeping": 2.0},
+            },
+            "wait_details": {
+                "worker;blocked;resource:slot": 1.5,
+                "worker;sleeping": 2.0,
+                "worker;ready": 0.0,  # zero weight: must not fold
+            },
+            "processes": [],
+        },
+        "host": {
+            "per_ptype": {
+                "worker": {"resumes": 9, "cpu_seconds": 0.003,
+                           "cpu_us_per_resume": 333.3},
+                "idle": {"resumes": 0, "cpu_seconds": 0.0,
+                         "cpu_us_per_resume": 0.0},
+            },
+        },
+    }
+
+
+def bench_doc():
+    return {
+        "schema": BENCH_SCHEMA,
+        "mode": "full",
+        "work": {"seed": 1, "ladder": [{"requests": 1000, "events": 4000}]},
+        "host": {"ladder": [{"wall_seconds": 0.5, "events_per_sec": 8000.0}]},
+    }
+
+
+class TestFolded:
+    def test_virtual_fold_skips_zero_weights(self):
+        lines = folded_from_doc(profile_doc()).splitlines()
+        assert lines == [
+            "worker;blocked;resource:slot 1500000",
+            "worker;sleeping 2000000",
+        ]
+
+    def test_host_fold_uses_cpu_seconds(self):
+        assert folded_from_doc(profile_doc(), host=True) == "worker 3000"
+
+    def test_parse_round_trip(self):
+        text = folded_from_doc(profile_doc())
+        entries = parse_folded(text)
+        assert entries == [
+            (["worker", "blocked", "resource:slot"], 1500000),
+            (["worker", "sleeping"], 2000000),
+        ]
+
+    def test_parse_skips_blanks_and_comments(self):
+        entries = parse_folded("# header\n\na;b 10\n")
+        assert entries == [(["a", "b"], 10)]
+
+    @pytest.mark.parametrize("bad,match", [
+        ("justoneword", "not a folded stack"),
+        ("a;b ten", "bad weight"),
+        ("a;b -5", "negative weight"),
+    ])
+    def test_parse_rejects_malformed_lines(self, bad, match):
+        with pytest.raises(ValueError, match=match):
+            parse_folded(bad)
+
+
+class TestSpeedscope:
+    def test_document_schema(self):
+        doc = speedscope_doc(parse_folded("a;b 10\na;c 20\n"), name="demo")
+        assert doc["$schema"].endswith("file-format-schema.json")
+        frames = [f["name"] for f in doc["shared"]["frames"]]
+        assert frames == ["a", "b", "c"]  # "a" deduplicated across stacks
+        (profile,) = doc["profiles"]
+        assert profile["type"] == "sampled"
+        assert profile["unit"] == "microseconds"
+        assert profile["samples"] == [[0, 1], [0, 2]]
+        assert profile["weights"] == [10, 20]
+        assert profile["endValue"] == 30
+
+    def test_zero_weight_entries_dropped(self):
+        doc = speedscope_doc([(["a"], 0), (["b"], 5)])
+        assert doc["profiles"][0]["weights"] == [5]
+
+
+class TestFormatProfile:
+    def test_renders_counters_wait_states_and_host(self):
+        text = format_profile(profile_doc())
+        assert "events_popped" in text
+        assert "wait-state attribution" in text
+        assert "worker" in text
+        assert "host CPU per resume" in text
+
+    def test_requires_virtual_section(self):
+        with pytest.raises(ValueError, match="virtual"):
+            format_profile({"host": {}})
+
+
+class TestCheckBench:
+    def test_identical_documents_pass(self):
+        assert check_bench(bench_doc(), bench_doc(), max_ratio=25.0) == []
+
+    def test_schema_mismatch_fails_fast(self):
+        stale = bench_doc()
+        stale["schema"] = "bench-kernel/0"
+        problems = check_bench(bench_doc(), stale, max_ratio=25.0)
+        assert len(problems) == 1
+        assert "schema" in problems[0]
+
+    def test_work_section_must_match_byte_for_byte(self):
+        fresh = bench_doc()
+        fresh["work"]["ladder"][0]["events"] += 1
+        problems = check_bench(fresh, bench_doc(), max_ratio=25.0)
+        assert any("work section differs" in p for p in problems)
+
+    def test_host_key_set_must_match(self):
+        fresh = bench_doc()
+        fresh["host"]["ladder"][0]["rss_kb"] = 100.0
+        problems = check_bench(fresh, bench_doc(), max_ratio=25.0)
+        assert any("host keys differ" in p for p in problems)
+
+    def test_host_ratio_band(self):
+        fresh = bench_doc()
+        fresh["host"]["ladder"][0]["events_per_sec"] = 8000.0 / 30.0
+        assert check_bench(fresh, bench_doc(), max_ratio=25.0)
+        assert check_bench(fresh, bench_doc(), max_ratio=50.0) == []
+
+    def test_host_sign_change_flagged_but_double_zero_ok(self):
+        fresh, seed = bench_doc(), bench_doc()
+        fresh["host"]["ladder"][0]["wall_seconds"] = 0.0
+        assert any("sign change" in p
+                   for p in check_bench(fresh, seed, max_ratio=25.0))
+        seed["host"]["ladder"][0]["wall_seconds"] = 0.0
+        assert check_bench(fresh, seed, max_ratio=25.0) == []
+
+
+class TestCli:
+    @pytest.fixture()
+    def profile_path(self, tmp_path):
+        path = tmp_path / "profile.json"
+        path.write_text(json.dumps(profile_doc()), encoding="utf-8")
+        return path
+
+    def test_folded_to_speedscope_round_trip(self, profile_path, tmp_path, capsys):
+        folded = tmp_path / "profile.folded"
+        assert main(["folded", str(profile_path), "--out", str(folded)]) == 0
+        assert main(["speedscope", str(folded)]) == 0
+        out = capsys.readouterr().out
+        doc = json.loads(out[out.index("{"):])
+        assert doc["profiles"][0]["endValue"] == 3_500_000
+
+    def test_report_command(self, profile_path, capsys):
+        assert main(["report", str(profile_path)]) == 0
+        assert "wait-state attribution" in capsys.readouterr().out
+
+    def test_check_bench_pass_and_fail(self, tmp_path, capsys):
+        seed = tmp_path / "seed.json"
+        seed.write_text(json.dumps(bench_doc()), encoding="utf-8")
+        fresh_doc = bench_doc()
+        fresh_doc["work"]["seed"] = 2
+        fresh = tmp_path / "fresh.json"
+        fresh.write_text(json.dumps(fresh_doc), encoding="utf-8")
+        assert main(["check-bench", str(seed), str(seed)]) == 0
+        assert "ok:" in capsys.readouterr().out
+        assert main(["check-bench", str(fresh), str(seed)]) == 1
+        assert "FAIL" in capsys.readouterr().err
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["folded", str(tmp_path / "nope.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_json_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        assert main(["report", str(bad)]) == 2
+        assert "malformed" in capsys.readouterr().err
+
+    def test_empty_fold_exits_2(self, tmp_path, capsys):
+        empty = tmp_path / "empty.json"
+        empty.write_text(json.dumps({"virtual": {"wait_details": {}}}),
+                         encoding="utf-8")
+        assert main(["folded", str(empty)]) == 2
+        assert "no wait-state data" in capsys.readouterr().err
+
+    def test_module_entry_point_propagates_exit_code(self, tmp_path):
+        # CI invokes `repro-perf-viz`; the module must exit non-zero too
+        env = dict(os.environ, PYTHONPATH=_SRC_DIR)
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.tools.perf_viz",
+             "report", str(tmp_path / "missing.json")],
+            capture_output=True, text=True, env=env,
+        )
+        assert result.returncode == 2
+        assert "error:" in result.stderr

@@ -8,7 +8,7 @@ from pathlib import Path
 import pytest
 
 import repro
-from repro.tools.report import collate, main
+from repro.tools.report import collate, main, validate_bench_json
 
 _SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
 
@@ -80,3 +80,56 @@ class TestCli:
         )
         assert proc.returncode != 0
         assert "is not a directory" in proc.stderr
+
+
+class TestKernelPerfSections:
+    def test_new_sections_collate_in_paper_order(self, report_dir):
+        (report_dir / "kernel_perf.txt").write_text("ladder body\n")
+        (report_dir / "telemetry.txt").write_text("telemetry body\n")
+        document = collate(report_dir)
+        perf = document.index("Kernel perf — scheduler throughput ladder")
+        telemetry = document.index("Telemetry — continuous virtual-time metrics")
+        assert perf < telemetry
+        assert "ladder body" in document
+        assert "telemetry body" in document
+
+
+class TestValidateBenchJson:
+    def test_valid_artifacts_pass(self, report_dir):
+        (report_dir / "BENCH_kernel.json").write_text('{"schema": "bench-kernel/1"}')
+        assert validate_bench_json(report_dir) == []
+
+    def test_non_bench_json_ignored(self, report_dir):
+        (report_dir / "notes.json").write_text("not even json")
+        assert validate_bench_json(report_dir) == []
+
+    @pytest.mark.parametrize("payload,reason", [
+        ('{"truncated": ', "malformed"),
+        ('[1, 2, 3]', "non-object"),
+        ('{}', "empty"),
+    ])
+    def test_bad_artifacts_reported(self, report_dir, payload, reason):
+        (report_dir / "BENCH_kernel.json").write_text(payload)
+        problems = validate_bench_json(report_dir)
+        assert len(problems) == 1
+        assert problems[0].startswith("BENCH_kernel.json:")
+
+    def test_malformed_bench_fails_main(self, report_dir, capsys):
+        (report_dir / "BENCH_kernel.json").write_text('{"truncated": ')
+        assert main(["--reports", str(report_dir)]) == 1
+        assert "BENCH_kernel.json" in capsys.readouterr().err
+
+    def test_malformed_bench_nonzero_exit_as_module(self, report_dir):
+        """A truncated perf artifact must fail the report *process* in CI."""
+        (report_dir / "BENCH_kernel.json").write_text('{"truncated": ')
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (_SRC_DIR, env.get("PYTHONPATH")) if p
+        )
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.tools.report",
+             "--reports", str(report_dir)],
+            capture_output=True, text=True, env=env,
+        )
+        assert proc.returncode == 1
+        assert "BENCH_kernel.json" in proc.stderr
