@@ -1,0 +1,112 @@
+"""Golden event-order fixtures: the two-lane scheduler fires the OLD order.
+
+The two-lane kernel (DESIGN.md §13) split same-instant resumes off the
+timer heap onto a FIFO ready deque.  Its hard constraint was that the
+split changes *nothing* observable: every event still fires in exact
+``(time, seq)`` order.  ``golden_event_order.json`` pins the
+:class:`~repro.sim.sanitizer.EventTrace` rolling hashes of the quick
+chaos soak and the quick churn soak as captured on the single-heap
+scheduler immediately before the two-lane change landed; this module
+replays both scenarios through :class:`DeterminismHarness` and demands
+the identical hash and event count.
+
+Unlike the per-PR sanitizer gates (which only prove a *double run* of
+today's kernel agrees with itself), these fixtures prove today's kernel
+agrees with the kernel of record -- a scheduler reordering that is
+internally deterministic but differently ordered fails here and nowhere
+else.
+
+The scenarios pin every knob explicitly (seed, request counts, churn
+arrival rates), so the hashes are independent of the ``*_SOAK_QUICK``
+environment switches.
+
+Run explicitly (benchmarks are not part of tier-1)::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_event_order_golden.py -q
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+import test_chaos_soak as chaos_soak
+import test_churn_soak as churn_soak
+
+from repro.sim.sanitizer import DeterminismHarness
+
+GOLDEN = json.loads(
+    (Path(__file__).with_name("golden_event_order.json"))
+    .read_text(encoding="utf-8")
+)
+
+_REPIN_HINT = (
+    "the scheduler fired a different event sequence than the pinned "
+    "pre-two-lane golden order; if this is an intentional scenario change, "
+    "re-capture both the hash and the event count in "
+    "benchmarks/golden_event_order.json (see its comment field)"
+)
+
+
+def _assert_matches(report, spec):
+    assert report.deterministic, "double run disagreed with itself"
+    assert report.hash_first == report.hash_second
+    assert report.events_first == spec["events"], (
+        f"event count {report.events_first} != pinned {spec['events']}: "
+        f"{_REPIN_HINT}"
+    )
+    assert report.hash_first == spec["rolling_hash"], (
+        f"rolling hash {report.hash_first} != pinned "
+        f"{spec['rolling_hash']}: {_REPIN_HINT}"
+    )
+
+
+@pytest.mark.determinism
+class TestGoldenEventOrder:
+    def test_chaos_quick_soak_matches_pinned_hash(self):
+        spec = GOLDEN["scenarios"]["chaos_quick"]
+
+        def scenario(trace):
+            result = chaos_soak.run_soak(
+                spec["seed"], n_requests=spec["n_requests"]
+            )
+            trace.record_all(result["chaos_events"])
+            trace.record_all(result["breaker_events"])
+            trace.record(
+                "soak-summary", chaos_soak.SOAK_SECONDS, "tier",
+                detail=(
+                    f"hit={result['final_hit_ratio']}"
+                    f"|errors={result['errors']}"
+                    f"|latency={result['latency_sum']}"
+                    f"|failovers={result['failovers']}"
+                ),
+            )
+            return result["counters"]
+
+        _assert_matches(DeterminismHarness(scenario).check(), spec)
+
+    def test_churn_quick_soak_matches_pinned_hash(self, monkeypatch):
+        spec = GOLDEN["scenarios"]["churn_quick"]
+        # arrival rates are module globals switched by CHURN_SOAK_QUICK;
+        # pin them to the fixture's values so the hash is env-independent
+        monkeypatch.setattr(churn_soak, "QUIET_RATE", spec["quiet_rate"])
+        monkeypatch.setattr(churn_soak, "BURST_RATE", spec["burst_rate"])
+        monkeypatch.setattr(churn_soak, "STORM_RATE", spec["storm_rate"])
+
+        def scenario(trace):
+            result = churn_soak.run_churn_soak(
+                spec["seed"], max_queries=spec["max_queries"]
+            )
+            for at, action, node in result["membership_events"]:
+                trace.record(action, at, node)
+            trace.record(
+                "soak-summary", churn_soak.SOAK_SECONDS, "cluster",
+                detail=(
+                    f"hit={result['final_hit_ratio']}"
+                    f"|pages={result['page_requests']}"
+                    f"|remap={result['remapped_keys']}"
+                    f"|shed={result['shed']}"
+                ),
+            )
+            return result["admission"]
+
+        _assert_matches(DeterminismHarness(scenario).check(), spec)

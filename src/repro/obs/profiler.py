@@ -15,7 +15,8 @@ records, with zero simulation impact:
   flamegraphs.  The split is exact: the per-state segments of one process
   telescope to its reported lifetime.
 - **Event-loop counters**: events popped, cancelled-handle reaps, timer
-  inserts/cancels, resume scheduling, and the heap's high-water mark.
+  inserts/cancels, resume scheduling, and the high-water marks of both
+  scheduler lanes (the timer heap and the same-instant ready deque).
 - **Host-CPU cost** per process type per resume, read through the
   sanctioned :mod:`repro.sim.hostclock` API.  Host fields live in their
   own report (:meth:`KernelProfile.host_report`) so the virtual report
@@ -107,7 +108,8 @@ class KernelProfile:
         self.timer_inserts = 0
         self.timer_cancels = 0
         self.resume_schedules = 0       # wakeups pushed by the process driver
-        self.heap_high_water = 0
+        self.heap_high_water = 0        # timer lane (the heap proper)
+        self.ready_high_water = 0       # same-instant resume lane (deque)
         self.spawns = 0
         self.completions = 0
         self.cancellations = 0
@@ -191,6 +193,7 @@ class KernelProfile:
             "timer_cancels": self.timer_cancels,
             "resume_schedules": self.resume_schedules,
             "heap_high_water": self.heap_high_water,
+            "ready_high_water": self.ready_high_water,
             "spawns": self.spawns,
             "completions": self.completions,
             "cancellations": self.cancellations,
@@ -319,6 +322,13 @@ class KernelProfiler:
             p.resume_schedules += 1
         if heap_len > p.heap_high_water:
             p.heap_high_water = heap_len
+
+    def on_ready_push(self, ready_len: int) -> None:
+        """A same-instant resume entered the kernel's ready lane."""
+        p = self.profile
+        p.resume_schedules += 1
+        if ready_len > p.ready_high_water:
+            p.ready_high_water = ready_len
 
     def on_timer_cancel(self) -> None:
         self.profile.timer_cancels += 1

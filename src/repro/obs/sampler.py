@@ -95,8 +95,11 @@ class TelemetrySampler:
     def _run(self) -> Generator[Any, Any, None]:
         from repro.sim.kernel import Timeout  # late: kernel imports obs first
 
+        # Timeout is immutable, so one instance serves every tick -- a
+        # million-tick soak allocates nothing per sample
+        pause = Timeout(self.interval)
         while not self._stop:
-            yield Timeout(self.interval)
+            yield pause
             if self._stop:
                 return
             self.tick()

@@ -13,15 +13,27 @@ module supplies the missing substrate:
   :class:`Resource` request, another :class:`Process`, or an
   :func:`any_of`/:func:`all_of` combinator) and is resumed when the wait
   completes.  Virtual time only moves between events.
-- **Determinism**: the run queue is a heap ordered by ``(time, seq)``
-  where ``seq`` is a global monotone counter, so same-timestamp events
+- **Determinism**: every schedule action (timer insert or same-instant
+  resume) consumes one tick of a global monotone ``seq`` counter, and
+  events fire in exact ``(time, seq)`` order, so same-timestamp events
   fire in schedule order (FIFO).  Process ids are sequential.  Two runs
   of the same scenario produce the identical event order.
+- **Two-lane scheduling**: genuinely-future timers live on a heap keyed
+  by ``(when, seq)``; same-instant resumes (the dominant operation --
+  event triggers, resource grants, channel gets, already-done waits) go
+  onto a FIFO *ready deque* instead of paying a heap push, a lambda and
+  a handle allocation each.  The drain loop merges the two lanes by
+  ``seq`` whenever both are due at the current instant, which reproduces
+  the single-heap ``(time, seq)`` order exactly (see DESIGN.md §13).
 - **Cancellation** is synchronous: ``process.cancel()`` detaches the
   process from whatever it is waiting on (including a resource's FIFO
   queue) and throws :class:`Cancelled` into the generator, so ``finally``
   blocks release resources and I/O models can account the bytes actually
-  wasted by an abandoned transfer.
+  wasted by an abandoned transfer.  Pending scheduler entries are
+  invalidated by stamping, not by mutating the lanes: each live entry
+  carries the ``seq`` it was queued under and the process remembers it in
+  ``_wait_seq``; cancelling resets the stamp and the stale entry is
+  skipped when popped.
 - **Deferred-I/O collection** bridges the synchronous decision logic
   (cache admission, eviction, scheduling) and the event kernel.  Under
   :func:`collecting_io`, device/remote models append replayable operation
@@ -35,19 +47,25 @@ The kernel also subsumes the old ``EventLoop`` timer API
 :meth:`Kernel.call_periodic` / :meth:`Kernel.run_until` /
 :meth:`Kernel.run_all`); ``repro.sim.events.EventLoop`` is now a thin
 compatibility alias over it.
+
+The kernel requires a :class:`~repro.sim.clock.SimClock` (or a subclass
+exposing ``_now``): the drain loops advance virtual time by writing the
+slot directly rather than calling ``advance_to`` per event.
 """
 
 from __future__ import annotations
 
 import enum
 import heapq
-import itertools
 from collections import deque
 from contextlib import contextmanager
 from typing import Any, Callable, Generator, Iterator
 
-from repro.obs.tracer import current_tracer
+from repro.obs import tracer as _tracer_slot
 from repro.sim.clock import SimClock
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
 
 class SimMode(enum.Enum):
@@ -77,8 +95,11 @@ _COLLECTION_STACK: list[list] = []
 
 # the kernel currently stepping a process (None outside process context);
 # lets replayed operation generators reach the clock / spawn helpers
-# without threading a kernel reference through every model layer.
-_CURRENT_KERNEL: list["Kernel"] = []
+# without threading a kernel reference through every model layer.  A
+# module scalar (saved/restored around each step, so nested kernels work)
+# instead of a stack: a global store is cheaper than a list append+pop on
+# the per-resume hot path.
+_ACTIVE_KERNEL: "Kernel | None" = None
 
 
 @contextmanager
@@ -127,9 +148,10 @@ def replay_plan(plan: list) -> Generator[Any, Any, float]:
 
 def current_kernel() -> "Kernel":
     """The kernel driving the currently-executing process."""
-    if not _CURRENT_KERNEL:
+    kernel = _ACTIVE_KERNEL
+    if kernel is None:
         raise KernelError("no kernel is currently stepping a process")
-    return _CURRENT_KERNEL[-1]
+    return kernel
 
 
 def charge_wasted_bytes(nbytes: int) -> None:
@@ -139,10 +161,27 @@ def charge_wasted_bytes(nbytes: int) -> None:
     accrue on the process being cancelled so a hedge can read how much its
     loser actually wasted.
     """
-    if _CURRENT_KERNEL:
-        process = _CURRENT_KERNEL[-1].active
+    kernel = _ACTIVE_KERNEL
+    if kernel is not None:
+        process = kernel.active
         if process is not None:
             process.wasted_bytes += int(nbytes)
+
+
+# ---------------------------------------------------------------------------
+# cancellation sentinels
+#
+# ``Process._cleanup`` holds either one of these markers (the common,
+# allocation-free waits) or a closure (combinator waits).  The markers are
+# interpreted by :meth:`Process.cancel`; using sentinels instead of bound
+# methods keeps the hot wait paths free of per-wait closure allocation.
+
+_CLEANUP_SLEEP = object()   # pending heap entry (Timeout / unstarted spawn)
+_CLEANUP_READY = object()   # pending ready-lane resume
+_CLEANUP_WAITER = object()  # registered directly on an Event/Process
+
+# forces the first _step/spawn to classify whatever tracer is installed
+_TRACER_UNSET = object()
 
 
 # ---------------------------------------------------------------------------
@@ -150,7 +189,11 @@ def charge_wasted_bytes(nbytes: int) -> None:
 
 
 class Timeout:
-    """Yield ``Timeout(delay)`` to sleep ``delay`` virtual seconds."""
+    """Yield ``Timeout(delay)`` to sleep ``delay`` virtual seconds.
+
+    Immutable -- a hot loop may allocate one instance and yield it every
+    iteration (the telemetry sampler does).
+    """
 
     __slots__ = ("delay",)
 
@@ -164,46 +207,101 @@ class Timeout:
 
 
 class Event:
-    """A one-shot triggerable waitable carrying an optional value."""
+    """A one-shot triggerable waitable carrying an optional value.
 
-    __slots__ = ("kernel", "name", "triggered", "value", "_callbacks", "_on_abandon")
+    Waiter storage is allocation-free for the common case: the first
+    waiter (a :class:`Process` registered by the kernel, or a plain
+    callback) occupies the ``_cb0`` slot; only a second concurrent waiter
+    promotes to a list.
+    """
+
+    __slots__ = ("kernel", "name", "triggered", "value", "_cb0",
+                 "_callbacks", "_on_abandon")
 
     def __init__(self, kernel: "Kernel", name: str = "") -> None:
         self.kernel = kernel
         self.name = name
         self.triggered = False
         self.value: Any = None
-        self._callbacks: list[Callable[["Event"], None]] = []
-        # hook a queue owner (e.g. Channel) installs so an abandoned wait
-        # can be withdrawn from the owner's FIFO
-        self._on_abandon: Callable[[], None] | None = None
+        self._cb0: Any = None
+        self._callbacks: list | None = None
+        # hook a queue owner installs so an abandoned wait can be
+        # withdrawn from the owner's FIFO: either a zero-arg callable or
+        # the owner deque itself (the Event is removed from it)
+        self._on_abandon: Any = None
 
     def trigger(self, value: Any = None) -> None:
-        """Fire the event; waiters are resumed via the kernel heap."""
+        """Fire the event; process waiters go onto the kernel ready lane."""
         if self.triggered:
             return
         self.triggered = True
         self.value = value
-        callbacks, self._callbacks = self._callbacks, []
-        for callback in callbacks:
-            callback(self)
+        cb = self._cb0
+        if cb is not None:
+            self._cb0 = None
+            if cb.__class__ is Process:
+                # _ready_push inlined: one waiter resuming on a trigger is
+                # the hottest handoff in the system (channel put -> getter)
+                kernel = cb.kernel
+                seq = kernel._seq
+                kernel._seq = seq + 1
+                cb._wait_seq = seq
+                cb._cleanup = _CLEANUP_READY
+                cb._waiting_on = None
+                kernel._ready.append((seq, cb, value, None))
+                kernel._pending += 1
+                if kernel._profiling:
+                    kernel.profiler.on_ready_push(len(kernel._ready))
+                    kernel.profiler.on_runnable(cb)
+            else:
+                cb(self)
+        cbs = self._callbacks
+        if cbs:
+            self._callbacks = None
+            for cb in cbs:
+                if cb.__class__ is Process:
+                    cb.kernel._ready_push(cb, value, None)
+                else:
+                    cb(self)
 
-    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+    def add_callback(self, callback: Any) -> None:
+        """Register a waiter: a callable taking the event, or a Process."""
         if self.triggered:
-            callback(self)
+            if callback.__class__ is Process:
+                callback.kernel._ready_push(callback, self.value, None)
+            else:
+                callback(self)
+        elif self._cb0 is None and self._callbacks is None:
+            self._cb0 = callback
+        elif self._callbacks is None:
+            self._callbacks = [callback]
         else:
             self._callbacks.append(callback)
 
-    def discard_callback(self, callback: Callable[["Event"], None]) -> None:
-        try:
-            self._callbacks.remove(callback)
-        except ValueError:
-            pass
+    def discard_callback(self, callback: Any) -> None:
+        if self._cb0 is callback:
+            self._cb0 = None
+            return
+        cbs = self._callbacks
+        if cbs is not None:
+            try:
+                cbs.remove(callback)
+            except ValueError:
+                pass
 
     def abandon(self) -> None:
         """Withdraw an untriggered wait from its owner's queue, if any."""
-        if not self.triggered and self._on_abandon is not None:
-            self._on_abandon()
+        if not self.triggered:
+            owner = self._on_abandon
+            if owner is None:
+                return
+            if owner.__class__ is deque:
+                try:
+                    owner.remove(self)
+                except ValueError:
+                    pass
+            else:
+                owner()
 
     def _wait_value(self) -> tuple[Any, BaseException | None]:
         return self.value, None
@@ -230,7 +328,15 @@ class Request(Event):
     __slots__ = ("resource", "released", "grant_time")
 
     def __init__(self, resource: "Resource") -> None:
-        super().__init__(resource.kernel, name=f"req:{resource.name}")
+        # Event.__init__ inlined: one Request per resource claim makes this
+        # a per-request allocation, so skip the superclass call frame
+        self.kernel = resource.kernel
+        self.name = resource._req_name
+        self.triggered = False
+        self.value = None
+        self._cb0 = None
+        self._callbacks = None
+        self._on_abandon = None
         self.resource = resource
         self.released = False
         self.grant_time: float | None = None
@@ -250,7 +356,7 @@ class Resource:
     that is still queued withdraws it (cancel-while-queued).
     """
 
-    __slots__ = ("kernel", "capacity", "name", "in_use", "_queue")
+    __slots__ = ("kernel", "capacity", "name", "in_use", "_queue", "_req_name")
 
     def __init__(self, kernel: "Kernel", capacity: int, name: str = "") -> None:
         if capacity <= 0:
@@ -260,13 +366,14 @@ class Resource:
         self.name = name
         self.in_use = 0
         self._queue: deque[Request] = deque()
+        self._req_name = f"req:{name}"
 
     def request(self) -> Request:
         req = Request(self)
         if self.in_use < self.capacity:
             self.in_use += 1
             req.triggered = True  # granted immediately; no waiters yet
-            req.grant_time = self.kernel.clock.now()
+            req.grant_time = self.kernel.clock._now
         else:
             self._queue.append(req)
         return req
@@ -286,7 +393,7 @@ class Resource:
         while self._queue and self.in_use < self.capacity:
             nxt = self._queue.popleft()
             self.in_use += 1
-            nxt.grant_time = self.kernel.clock.now()
+            nxt.grant_time = self.kernel.clock._now
             nxt.trigger(None)
 
     @property
@@ -307,7 +414,8 @@ class Channel:
     processes ``yield channel.get()`` and are resumed with the item.
     """
 
-    __slots__ = ("kernel", "name", "_items", "_getters", "puts", "gets")
+    __slots__ = ("kernel", "name", "_items", "_getters", "puts", "gets",
+                 "_get_name")
 
     def __init__(self, kernel: "Kernel", name: str = "") -> None:
         self.kernel = kernel
@@ -316,6 +424,7 @@ class Channel:
         self._getters: deque[Event] = deque()
         self.puts = 0
         self.gets = 0
+        self._get_name = f"get:{name}"
 
     def put(self, item: Any) -> None:
         self.puts += 1
@@ -326,21 +435,15 @@ class Channel:
             self._items.append(item)
 
     def get(self) -> Event:
-        ev = Event(self.kernel, name=f"get:{self.name}")
+        ev = Event(self.kernel, self._get_name)
         if self._items:
             ev.triggered = True
             ev.value = self._items.popleft()
             self.gets += 1
         else:
             self._getters.append(ev)
-
-            def _withdraw(ev: Event = ev) -> None:
-                try:
-                    self._getters.remove(ev)
-                except ValueError:
-                    pass
-
-            ev._on_abandon = _withdraw
+            # abandoning the wait removes the Event from this deque
+            ev._on_abandon = self._getters
         return ev
 
     def drain(self) -> list[Any]:
@@ -411,8 +514,8 @@ class Process:
 
     __slots__ = (
         "kernel", "name", "pid", "done", "cancelled", "value", "exception",
-        "wasted_bytes", "_gen", "_callbacks", "_cleanup", "_start_handle",
-        "_span_context", "started",
+        "wasted_bytes", "_gen", "_send", "_throw", "_cb0", "_callbacks",
+        "_cleanup", "_wait_seq", "_waiting_on", "_span_context", "started",
     )
 
     def __init__(self, kernel: "Kernel", gen: Generator, name: str, pid: int) -> None:
@@ -427,10 +530,16 @@ class Process:
         # bytes a cancelled transfer had already moved (hedge-loser waste)
         self.wasted_bytes = 0
         self._gen = gen
-        self._callbacks: list[Callable[["Process"], None]] = []
-        # detaches the process from its current wait (set by the kernel)
-        self._cleanup: Callable[[], None] | None = None
-        self._start_handle = None
+        self._send = gen.send
+        self._throw = gen.throw
+        self._cb0: Any = None
+        self._callbacks: list | None = None
+        # how to detach from the current wait: a sentinel or a closure
+        self._cleanup: Any = None
+        # seq stamp of the pending scheduler entry (-1 = none); a popped
+        # entry whose seq no longer matches is stale and is skipped
+        self._wait_seq = -1
+        self._waiting_on: Any = None
         self._span_context: list | None = None
 
     # -- Event-compatible waitable protocol ---------------------------------
@@ -439,17 +548,29 @@ class Process:
     def triggered(self) -> bool:
         return self.done
 
-    def add_callback(self, callback: Callable[["Process"], None]) -> None:
+    def add_callback(self, callback: Any) -> None:
         if self.done:
-            callback(self)
+            if callback.__class__ is Process:
+                callback.kernel._ready_push(callback, self.value, self.exception)
+            else:
+                callback(self)
+        elif self._cb0 is None and self._callbacks is None:
+            self._cb0 = callback
+        elif self._callbacks is None:
+            self._callbacks = [callback]
         else:
             self._callbacks.append(callback)
 
-    def discard_callback(self, callback: Callable[["Process"], None]) -> None:
-        try:
-            self._callbacks.remove(callback)
-        except ValueError:
-            pass
+    def discard_callback(self, callback: Any) -> None:
+        if self._cb0 is callback:
+            self._cb0 = None
+            return
+        cbs = self._callbacks
+        if cbs is not None:
+            try:
+                cbs.remove(callback)
+            except ValueError:
+                pass
 
     def abandon(self) -> None:  # joining a process holds no queue slot
         return None
@@ -468,22 +589,44 @@ class Process:
         """
         if self.done:
             return False
-        if self.kernel.active is self:
+        kernel = self.kernel
+        if kernel.active is self:
             raise KernelError("a process cannot cancel itself")
         if not self.started:
-            # never ran: unschedule the start, close the generator quietly
-            if self._start_handle is not None:
-                self._start_handle.cancel()
+            # never ran: invalidate the start entry, close the generator
+            if self._wait_seq != -1:
+                self._wait_seq = -1
+                kernel._pending -= 1
+                if kernel._profiling:
+                    kernel.profiler.on_timer_cancel()
+            self._cleanup = None
             self._gen.close()
             self._complete(None, Cancelled(reason or "cancelled before start"),
                            cancelled=True)
-            if self.kernel._profiling:
-                self.kernel.profiler.on_exit(self)
+            if kernel._profiling:
+                kernel.profiler.on_exit(self)
             return True
-        if self._cleanup is not None:
-            self._cleanup()
+        cleanup = self._cleanup
+        if cleanup is not None:
             self._cleanup = None
-        self.kernel._step(self, exc=Cancelled(reason or f"cancel {self.name}"))
+            if cleanup is _CLEANUP_READY:
+                # the stale lane entry keeps its value alive until drained;
+                # that's bounded by the current instant's queue depth
+                self._wait_seq = -1
+                kernel._pending -= 1
+            elif cleanup is _CLEANUP_SLEEP:
+                self._wait_seq = -1
+                kernel._pending -= 1
+                if kernel._profiling:
+                    kernel.profiler.on_timer_cancel()
+            elif cleanup is _CLEANUP_WAITER:
+                waitable = self._waiting_on
+                self._waiting_on = None
+                waitable.discard_callback(self)
+                waitable.abandon()
+            else:
+                cleanup()
+        kernel._step(self, None, Cancelled(reason or f"cancel {self.name}"))
         return True
 
     def _complete(self, value: Any, exception: BaseException | None,
@@ -492,9 +635,21 @@ class Process:
         self.value = value
         self.exception = exception
         self.cancelled = cancelled
-        callbacks, self._callbacks = self._callbacks, []
-        for callback in callbacks:
-            callback(self)
+        cb = self._cb0
+        if cb is not None:
+            self._cb0 = None
+            if cb.__class__ is Process:
+                cb.kernel._ready_push(cb, value, exception)
+            else:
+                cb(self)
+        cbs = self._callbacks
+        if cbs:
+            self._callbacks = None
+            for cb in cbs:
+                if cb.__class__ is Process:
+                    cb.kernel._ready_push(cb, value, exception)
+                else:
+                    cb(self)
 
     def __repr__(self) -> str:
         state = ("cancelled" if self.cancelled else
@@ -506,25 +661,32 @@ class Process:
 class _TimerHandle:
     """Cancellation handle for a scheduled callback.
 
-    ``on_cancel`` is set only by a profiling kernel (timer-cancel
-    counting); the unprofiled path pays one ``None`` store at creation.
+    ``scheduled`` is True while the handle's entry sits in the heap; the
+    drain loop clears it on pop, so :meth:`cancel` knows whether the
+    kernel's live-entry count still includes it.  ``on_cancel`` is set
+    only by a profiling kernel (timer-cancel counting).
     """
 
-    __slots__ = ("cancelled", "on_cancel")
+    __slots__ = ("cancelled", "scheduled", "on_cancel", "_kernel")
 
-    def __init__(self) -> None:
+    def __init__(self, kernel: "Kernel") -> None:
         self.cancelled = False
+        self.scheduled = True
         self.on_cancel: Callable[[], None] | None = None
+        self._kernel = kernel
 
     def cancel(self) -> None:
         if not self.cancelled:
             self.cancelled = True
+            if self.scheduled:
+                self.scheduled = False
+                self._kernel._pending -= 1
             if self.on_cancel is not None:
                 self.on_cancel()
 
 
 class Kernel:
-    """The discrete-event scheduler: a callback heap plus process driver.
+    """The discrete-event scheduler: a two-lane run queue plus process driver.
 
     >>> kernel = Kernel()
     >>> order = []
@@ -538,11 +700,25 @@ class Kernel:
     ['a', 'b']
     """
 
+    __slots__ = (
+        "clock", "_heap", "_ready", "_seq", "_next_pid", "_pending",
+        "active", "processes_spawned", "processes_completed",
+        "processes_cancelled", "events_fired", "profiler", "_profiling",
+        "_cached_tracer", "_tracer_ctx",
+    )
+
     def __init__(self, clock: SimClock | None = None) -> None:
         self.clock = clock if clock is not None else SimClock()
-        self._heap: list[tuple[float, int, _TimerHandle, Callable[[], None]]] = []
-        self._seq = itertools.count()
-        self._pids = itertools.count(1)
+        # future-timer lane: (when, seq, handle_or_None, callback_or_process)
+        self._heap: list[tuple] = []
+        # same-instant lane: (seq, process, value, exc); always due at the
+        # current time -- the entry carries the resume payload so waking a
+        # process never round-trips through per-process slots
+        self._ready: deque[tuple] = deque()
+        self._seq = 0
+        self._next_pid = 1
+        # live (non-cancelled, not yet fired) entries across both lanes
+        self._pending = 0
         self.active: Process | None = None
         self.processes_spawned = 0
         self.processes_completed = 0
@@ -556,6 +732,11 @@ class Kernel:
         # path at one attribute read per operation.
         self.profiler: Any = None
         self._profiling = False
+        # cached classification of the installed tracer: recomputed by
+        # identity whenever repro.obs.tracer._active_tracer changes, so
+        # the NOOP default skips per-resume context capture entirely
+        self._cached_tracer: Any = _TRACER_UNSET
+        self._tracer_ctx = False
 
     def attach_profiler(self, profiler: Any) -> None:
         """Install a scheduler profiler (attach before spawning processes).
@@ -565,20 +746,27 @@ class Kernel:
         """
         self.profiler = profiler
         self._profiling = bool(getattr(profiler, "enabled", False))
+        # drop the tracer classification too: (re)installing observability
+        # is the moment cached hot-path shortcuts must be revalidated
+        self._cached_tracer = _TRACER_UNSET
 
     # -- timer API (subsumes the old EventLoop) -----------------------------
 
     def __len__(self) -> int:
-        return sum(1 for __, __, handle, __ in self._heap if not handle.cancelled)
+        """Live scheduled entries (cancelled-but-unpopped ones excluded)."""
+        return self._pending
 
     def call_at(self, when: float, callback: Callable[[], None]) -> _TimerHandle:
         """Schedule ``callback`` at absolute virtual time ``when``."""
-        if when < self.clock.now():
+        if when < self.clock._now:
             raise ValueError(
                 f"cannot schedule in the past (when={when}, now={self.clock.now()})"
             )
-        handle = _TimerHandle()
-        heapq.heappush(self._heap, (when, next(self._seq), handle, callback))
+        handle = _TimerHandle(self)
+        seq = self._seq
+        self._seq = seq + 1
+        _heappush(self._heap, (when, seq, handle, callback))
+        self._pending += 1
         if self._profiling:
             handle.on_cancel = self.profiler.on_timer_cancel
             self.profiler.on_heap_push(len(self._heap), timer=True)
@@ -586,7 +774,7 @@ class Kernel:
 
     def call_after(self, delay: float, callback: Callable[[], None]) -> _TimerHandle:
         """Schedule ``callback`` ``delay`` seconds from now."""
-        return self.call_at(self.clock.now() + delay, callback)
+        return self.call_at(self.clock._now + delay, callback)
 
     def call_periodic(
         self, interval: float, callback: Callable[[], None], *,
@@ -595,63 +783,260 @@ class Kernel:
         """Fire ``callback`` every ``interval`` seconds until cancelled."""
         if interval <= 0:
             raise ValueError(f"interval must be positive, got {interval}")
-        handle = _TimerHandle()
-        first = self.clock.now() + interval if start is None else start
+        handle = _TimerHandle(self)
+        first = self.clock._now + interval if start is None else start
 
         def fire() -> None:
             if handle.cancelled:
                 return
             callback()
             if not handle.cancelled:
-                heapq.heappush(
-                    self._heap,
-                    (self.clock.now() + interval, next(self._seq), handle, fire),
-                )
+                seq = self._seq
+                self._seq = seq + 1
+                _heappush(self._heap,
+                          (self.clock._now + interval, seq, handle, fire))
+                handle.scheduled = True
+                self._pending += 1
                 if self._profiling:
                     self.profiler.on_heap_push(len(self._heap), timer=True)
 
-        heapq.heappush(self._heap, (first, next(self._seq), handle, fire))
+        seq = self._seq
+        self._seq = seq + 1
+        _heappush(self._heap, (first, seq, handle, fire))
+        self._pending += 1
         if self._profiling:
             handle.on_cancel = self.profiler.on_timer_cancel
             self.profiler.on_heap_push(len(self._heap), timer=True)
         return handle
 
+    # -- the drain loops ----------------------------------------------------
+    #
+    # Four specializations of one merge loop (see DESIGN.md §13 for the
+    # order-preservation argument).  The unprofiled run_until/run_all
+    # bodies are the hottest code in the repository: lane heads, the heap
+    # pop and the step driver are bound to locals, the clock slot is
+    # written directly, and the fired-event counters are reconciled once
+    # in a ``finally`` instead of per event.
+
     def run_until(self, deadline: float) -> None:
         """Fire every due event up to ``deadline``, advancing the clock."""
-        while self._heap and self._heap[0][0] <= deadline:
-            when, __, handle, callback = heapq.heappop(self._heap)
-            if handle.cancelled:
-                if self._profiling:
-                    self.profiler.on_event_pop(True)
-                continue
-            self.clock.advance_to(when)
-            callback()
-            self.events_fired += 1
-            if self._profiling:
-                self.profiler.on_event_pop(False)
-        self.clock.advance_to(deadline)
+        if self._profiling:
+            self._drain_profiled(deadline, 0)
+            self.clock.advance_to(deadline)
+            return
+        clock = self.clock
+        if clock._now > deadline:
+            return
+        heap = self._heap
+        ready = self._ready
+        popleft = ready.popleft
+        pop = _heappop
+        step = self._step
+        fired = 0
+        try:
+            while True:
+                if ready:
+                    if heap:
+                        entry = heap[0]
+                        if entry[0] <= clock._now and entry[1] < ready[0][0]:
+                            # a due timer scheduled before the queued resume
+                            pop(heap)
+                            handle = entry[2]
+                            target = entry[3]
+                            if handle is None:
+                                if target._wait_seq != entry[1]:
+                                    continue
+                                target._wait_seq = -1
+                                target._cleanup = None
+                                step(target)
+                            elif handle.cancelled:
+                                continue
+                            else:
+                                handle.scheduled = False
+                                target()
+                            fired += 1
+                            continue
+                    entry = popleft()
+                    proc = entry[1]
+                    if proc._wait_seq != entry[0]:
+                        continue
+                    proc._wait_seq = -1
+                    proc._cleanup = None
+                    step(proc, entry[2], entry[3])
+                    fired += 1
+                    continue
+                if not heap:
+                    break
+                entry = heap[0]
+                when = entry[0]
+                if when > deadline:
+                    break
+                pop(heap)
+                handle = entry[2]
+                target = entry[3]
+                if handle is None:
+                    if target._wait_seq != entry[1]:
+                        continue
+                    target._wait_seq = -1
+                    target._cleanup = None
+                    if when > clock._now:
+                        clock._now = when
+                    step(target)
+                elif handle.cancelled:
+                    continue
+                else:
+                    handle.scheduled = False
+                    if when > clock._now:
+                        clock._now = when
+                    target()
+                fired += 1
+        finally:
+            self.events_fired += fired
+            self._pending -= fired
+        clock.advance_to(deadline)
 
     def run_all(self, *, max_events: int = 10_000_000) -> None:
-        """Drain the heap completely (bounded by ``max_events``)."""
+        """Drain both lanes completely (bounded by ``max_events``)."""
+        if self._profiling:
+            self._drain_profiled(None, max_events)
+            return
+        clock = self.clock
+        heap = self._heap
+        ready = self._ready
+        popleft = ready.popleft
+        pop = _heappop
+        step = self._step
         fired = 0
-        while self._heap:
-            when, __, handle, callback = heapq.heappop(self._heap)
-            if handle.cancelled:
-                if self._profiling:
-                    self.profiler.on_event_pop(True)
+        try:
+            while True:
+                if ready:
+                    if heap:
+                        entry = heap[0]
+                        if entry[0] <= clock._now and entry[1] < ready[0][0]:
+                            pop(heap)
+                            handle = entry[2]
+                            target = entry[3]
+                            if handle is None:
+                                if target._wait_seq != entry[1]:
+                                    continue
+                                target._wait_seq = -1
+                                target._cleanup = None
+                                step(target)
+                            elif handle.cancelled:
+                                continue
+                            else:
+                                handle.scheduled = False
+                                target()
+                            fired += 1
+                            if fired >= max_events:
+                                raise KernelError(
+                                    f"kernel did not quiesce after {max_events} events"
+                                )
+                            continue
+                    entry = popleft()
+                    proc = entry[1]
+                    if proc._wait_seq != entry[0]:
+                        continue
+                    proc._wait_seq = -1
+                    proc._cleanup = None
+                    step(proc, entry[2], entry[3])
+                else:
+                    if not heap:
+                        break
+                    entry = pop(heap)
+                    handle = entry[2]
+                    target = entry[3]
+                    if handle is None:
+                        if target._wait_seq != entry[1]:
+                            continue
+                        target._wait_seq = -1
+                        target._cleanup = None
+                        when = entry[0]
+                        if when > clock._now:
+                            clock._now = when
+                        step(target)
+                    elif handle.cancelled:
+                        continue
+                    else:
+                        handle.scheduled = False
+                        when = entry[0]
+                        if when > clock._now:
+                            clock._now = when
+                        target()
+                fired += 1
+                if fired >= max_events:
+                    raise KernelError(
+                        f"kernel did not quiesce after {max_events} events"
+                    )
+        finally:
+            self.events_fired += fired
+            self._pending -= fired
+
+    run = run_all
+
+    def _drain_profiled(self, deadline: float | None, max_events: int) -> None:
+        """The instrumented merge loop (hook calls per pop; not hot)."""
+        clock = self.clock
+        if deadline is not None and clock._now > deadline:
+            return
+        heap = self._heap
+        ready = self._ready
+        profiler = self.profiler
+        fired = 0
+        while True:
+            entry = None
+            if ready:
+                if heap:
+                    head = heap[0]
+                    if head[0] <= clock._now and head[1] < ready[0][0]:
+                        entry = _heappop(heap)
+                if entry is None:
+                    seq, proc, value, error = ready.popleft()
+                    if proc._wait_seq != seq:
+                        profiler.on_event_pop(True)
+                        continue
+                    proc._wait_seq = -1
+                    proc._cleanup = None
+                    self._step(proc, value, error)
+                    self.events_fired += 1
+                    self._pending -= 1
+                    profiler.on_event_pop(False)
+                    fired += 1
+                    if max_events and fired >= max_events:
+                        raise KernelError(
+                            f"kernel did not quiesce after {max_events} events"
+                        )
+                    continue
+            else:
+                if not heap:
+                    break
+                if deadline is not None and heap[0][0] > deadline:
+                    break
+                entry = _heappop(heap)
+            when, seq, handle, target = entry
+            if handle is None:
+                if target._wait_seq != seq:
+                    profiler.on_event_pop(True)
+                    continue
+                target._wait_seq = -1
+                target._cleanup = None
+                clock.advance_to(when)
+                self._step(target)
+            elif handle.cancelled:
+                profiler.on_event_pop(True)
                 continue
-            self.clock.advance_to(when)
-            callback()
+            else:
+                handle.scheduled = False
+                clock.advance_to(when)
+                target()
             self.events_fired += 1
-            if self._profiling:
-                self.profiler.on_event_pop(False)
+            self._pending -= 1
+            profiler.on_event_pop(False)
             fired += 1
-            if fired >= max_events:
+            if max_events and fired >= max_events:
                 raise KernelError(
                     f"kernel did not quiesce after {max_events} events"
                 )
-
-    run = run_all
 
     # -- factories ----------------------------------------------------------
 
@@ -660,7 +1045,7 @@ class Kernel:
 
     def timer(self, delay: float, name: str = "") -> Timer:
         """An event that triggers ``delay`` seconds from now."""
-        return Timer(self, self.clock.now() + delay, name=name)
+        return Timer(self, self.clock._now + delay, name=name)
 
     def resource(self, capacity: int, name: str = "") -> Resource:
         return Resource(self, capacity, name=name)
@@ -672,28 +1057,55 @@ class Kernel:
 
     def spawn(self, gen: Generator, name: str | None = None) -> Process:
         """Start a process at the current virtual time."""
-        return self.spawn_at(self.clock.now(), gen, name=name)
+        return self.spawn_at(self.clock._now, gen, name=name)
 
     def spawn_at(self, when: float, gen: Generator,
                  name: str | None = None) -> Process:
         """Start a process at absolute virtual time ``when``."""
-        pid = next(self._pids)
+        pid = self._next_pid
+        self._next_pid = pid + 1
         process = Process(self, gen, name or f"proc-{pid}", pid)
         self.processes_spawned += 1
         # child processes inherit the spawner's open-span stack so their
         # spans parent correctly (a query's splits nest under the query)
-        tracer = current_tracer()
-        capture = getattr(tracer, "capture_context", None)
-        if capture is not None:
-            process._span_context = capture()
-        process._start_handle = self.call_at(
-            when, lambda: self._step(process, value=None)
-        )
+        tracer = _tracer_slot._active_tracer
+        if tracer is not self._cached_tracer:
+            self._cached_tracer = tracer
+            self._tracer_ctx = (
+                getattr(tracer, "enabled", True) is not False
+                and hasattr(tracer, "capture_context")
+            )
+        if self._tracer_ctx:
+            process._span_context = tracer.capture_context()
+        if when < self.clock._now:
+            raise ValueError(
+                f"cannot schedule in the past (when={when}, now={self.clock.now()})"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        process._wait_seq = seq
+        _heappush(self._heap, (when, seq, None, process))
+        self._pending += 1
         if self._profiling:
+            self.profiler.on_heap_push(len(self._heap), timer=True)
             self.profiler.on_spawn(process)
         return process
 
     # -- the process driver -------------------------------------------------
+
+    def _ready_push(self, process: "Process", value: Any,
+                    error: BaseException | None) -> None:
+        """Queue a same-instant resume on the ready lane (FIFO)."""
+        seq = self._seq
+        self._seq = seq + 1
+        process._wait_seq = seq
+        process._cleanup = _CLEANUP_READY
+        process._waiting_on = None
+        self._ready.append((seq, process, value, error))
+        self._pending += 1
+        if self._profiling:
+            self.profiler.on_ready_push(len(self._ready))
+            self.profiler.on_runnable(process)
 
     def _step(self, process: Process, value: Any = None,
               exc: BaseException | None = None) -> None:
@@ -701,24 +1113,31 @@ class Kernel:
         if process.done:
             return
         process.started = True
-        process._cleanup = None
         profiling = self._profiling
         if profiling:
             self.profiler.on_resume_start(process)
-        tracer = current_tracer()
-        has_context = hasattr(tracer, "capture_context")
-        if has_context:
+        tracer = _tracer_slot._active_tracer
+        if tracer is not self._cached_tracer:
+            self._cached_tracer = tracer
+            self._tracer_ctx = (
+                getattr(tracer, "enabled", True) is not False
+                and hasattr(tracer, "capture_context")
+            )
+        tracing = self._tracer_ctx
+        if tracing:
             saved_context = tracer.capture_context()
             tracer.restore_context(process._span_context or [])
+        global _ACTIVE_KERNEL
         previous_active = self.active
+        previous_kernel = _ACTIVE_KERNEL
         self.active = process
-        _CURRENT_KERNEL.append(self)
+        _ACTIVE_KERNEL = self
         try:
             try:
                 if exc is not None:
-                    yielded = process._gen.throw(exc)
+                    yielded = process._throw(exc)
                 else:
-                    yielded = process._gen.send(value)
+                    yielded = process._send(value)
             except StopIteration as stop:
                 self.processes_completed += 1
                 process._complete(stop.value, None)
@@ -733,7 +1152,8 @@ class Kernel:
                 return
             except Exception as error:
                 self.processes_completed += 1
-                had_waiters = bool(process._callbacks)
+                had_waiters = (process._cb0 is not None
+                               or bool(process._callbacks))
                 process._complete(None, error)
                 if profiling:
                     self.profiler.on_exit(process)
@@ -746,38 +1166,117 @@ class Kernel:
                 # already-done waitable schedules the wakeup immediately,
                 # and the wakeup hook must see the blocked state
                 self.profiler.on_wait_yield(process, yielded)
-            self._wait_on(process, yielded)
+            cls = yielded.__class__
+            if cls is Timeout:
+                # the dominant wait: one heap tuple, no handle, no closure
+                seq = self._seq
+                self._seq = seq + 1
+                process._wait_seq = seq
+                process._cleanup = _CLEANUP_SLEEP
+                _heappush(self._heap,
+                          (self.clock._now + yielded.delay, seq, None, process))
+                self._pending += 1
+                if profiling:
+                    self.profiler.on_heap_push(len(self._heap), timer=True)
+            elif cls is Event or cls is Request:
+                # second-hottest: channel gets and resource grants, inlined
+                if yielded.triggered:
+                    # _ready_push inlined (immediate grant / non-empty get);
+                    # _waiting_on needs no clear -- every resume path nulls
+                    # it before _step runs, and this process is mid-step
+                    seq = self._seq
+                    self._seq = seq + 1
+                    process._wait_seq = seq
+                    process._cleanup = _CLEANUP_READY
+                    self._ready.append((seq, process, yielded.value, None))
+                    self._pending += 1
+                    if profiling:
+                        self.profiler.on_ready_push(len(self._ready))
+                        self.profiler.on_runnable(process)
+                elif yielded._cb0 is None and yielded._callbacks is None:
+                    yielded._cb0 = process
+                    process._waiting_on = yielded
+                    process._cleanup = _CLEANUP_WAITER
+                else:
+                    if yielded._callbacks is None:
+                        yielded._callbacks = [process]
+                    else:
+                        yielded._callbacks.append(process)
+                    process._waiting_on = yielded
+                    process._cleanup = _CLEANUP_WAITER
+            else:
+                handler = _WAIT_HANDLERS.get(cls)
+                if handler is not None:
+                    handler(self, process, yielded)
+                else:
+                    self._wait_on(process, yielded)
         finally:
-            _CURRENT_KERNEL.pop()
+            _ACTIVE_KERNEL = previous_kernel
             self.active = previous_active
-            if has_context:
+            if tracing:
                 process._span_context = tracer.capture_context()
                 tracer.restore_context(saved_context)
             if profiling:
                 self.profiler.on_resume_end(process)
 
-    def _resume_at_now(self, process: Process, value: Any = None,
-                       exc: BaseException | None = None) -> _TimerHandle:
-        handle = _TimerHandle()
-        heapq.heappush(
-            self._heap,
-            (self.clock.now(), next(self._seq), handle,
-             lambda: self._step(process, value=value, exc=exc)),
-        )
-        if self._profiling:
-            self.profiler.on_heap_push(len(self._heap), timer=False)
-            self.profiler.on_runnable(process)
-        return handle
+    # -- wait registration --------------------------------------------------
+
+    def _wait_event(self, process: Process, waitable: Event) -> None:
+        """Wait on an Event/Timer/Request: register the process directly."""
+        if waitable.triggered:
+            self._ready_push(process, waitable.value, None)
+        elif waitable._cb0 is None and waitable._callbacks is None:
+            waitable._cb0 = process
+            process._waiting_on = waitable
+            process._cleanup = _CLEANUP_WAITER
+        else:
+            if waitable._callbacks is None:
+                waitable._callbacks = [process]
+            else:
+                waitable._callbacks.append(process)
+            process._waiting_on = waitable
+            process._cleanup = _CLEANUP_WAITER
+
+    def _wait_join(self, process: Process, target: "Process") -> None:
+        """Join another process (re-raises its exception in the joiner)."""
+        if target.done:
+            self._ready_push(process, target.value, target.exception)
+        elif target._cb0 is None and target._callbacks is None:
+            target._cb0 = process
+            process._waiting_on = target
+            process._cleanup = _CLEANUP_WAITER
+        else:
+            if target._callbacks is None:
+                target._callbacks = [process]
+            else:
+                target._callbacks.append(process)
+            process._waiting_on = target
+            process._cleanup = _CLEANUP_WAITER
 
     def _wait_on(self, process: Process, yielded: Any) -> None:
+        """Fallback dispatch for waitable *subclasses* (isinstance chain).
+
+        The hot paths dispatch on exact type via ``_WAIT_HANDLERS``; this
+        keeps user-defined subclasses of the waitable protocol working.
+        """
         if isinstance(yielded, Timeout):
-            handle = self.call_after(yielded.delay,
-                                     lambda: self._step(process, value=None))
-            process._cleanup = handle.cancel
+            seq = self._seq
+            self._seq = seq + 1
+            process._wait_seq = seq
+            process._cleanup = _CLEANUP_SLEEP
+            _heappush(self._heap,
+                      (self.clock._now + yielded.delay, seq, None, process))
+            self._pending += 1
+            if self._profiling:
+                self.profiler.on_heap_push(len(self._heap), timer=True)
             return
 
-        if isinstance(yielded, (Event, Process)):
-            self._wait_single(process, yielded)
+        if isinstance(yielded, Process):
+            self._wait_join(process, yielded)
+            return
+
+        if isinstance(yielded, Event):
+            self._wait_event(process, yielded)
             return
 
         if isinstance(yielded, AnyOf):
@@ -792,30 +1291,10 @@ class Kernel:
             f"process {process.name!r} yielded non-waitable {yielded!r}"
         )
 
-    def _wait_single(self, process: Process, waitable: Any) -> None:
-        if _is_done(waitable):
-            value, error = waitable._wait_value()
-            handle = self._resume_at_now(process, value=value, exc=error)
-            process._cleanup = handle.cancel
-            return
-
-        def on_fire(_w: Any, process: Process = process) -> None:
-            value, error = _w._wait_value()
-            self._resume_at_now(process, value=value, exc=error)
-
-        waitable.add_callback(on_fire)
-
-        def cleanup() -> None:
-            waitable.discard_callback(on_fire)
-            waitable.abandon()
-
-        process._cleanup = cleanup
-
     def _wait_any(self, process: Process, group: AnyOf) -> None:
         for waitable in group.waitables:
             if _is_done(waitable):
-                handle = self._resume_at_now(process, value=waitable)
-                process._cleanup = handle.cancel
+                self._ready_push(process, waitable, None)
                 return
 
         fired = [False]
@@ -831,7 +1310,7 @@ class Kernel:
                     return
                 fired[0] = True
                 detach()
-                self._resume_at_now(process, value=waitable)
+                self._ready_push(process, waitable, None)
 
             waitable.add_callback(on_fire)
             registered.append((waitable, on_fire))
@@ -848,8 +1327,7 @@ class Kernel:
     def _wait_all(self, process: Process, group: AllOf) -> None:
         remaining = [sum(1 for w in group.waitables if not _is_done(w))]
         if remaining[0] == 0:
-            handle = self._resume_at_now(process, value=list(group.waitables))
-            process._cleanup = handle.cancel
+            self._ready_push(process, list(group.waitables), None)
             return
 
         cancelled = [False]
@@ -860,7 +1338,7 @@ class Kernel:
                 return
             remaining[0] -= 1
             if remaining[0] == 0:
-                self._resume_at_now(process, value=list(group.waitables))
+                self._ready_push(process, list(group.waitables), None)
 
         for waitable in group.waitables:
             if not _is_done(waitable):
@@ -873,3 +1351,15 @@ class Kernel:
                 waitable.discard_callback(callback)
 
         process._cleanup = cleanup
+
+
+# exact-type dispatch for the wait paths the hot loop actually sees;
+# subclasses fall through to Kernel._wait_on's isinstance chain
+_WAIT_HANDLERS: dict[type, Callable] = {
+    Event: Kernel._wait_event,
+    Timer: Kernel._wait_event,
+    Request: Kernel._wait_event,
+    Process: Kernel._wait_join,
+    AnyOf: Kernel._wait_any,
+    AllOf: Kernel._wait_all,
+}

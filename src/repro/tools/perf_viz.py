@@ -7,9 +7,12 @@ Consumes the scheduler profiler's outputs (DESIGN.md §12) and the
 - ``speedscope``  folded stacks -> a speedscope.app JSON document
 - ``report``      profile JSON -> human-readable wait-state/counter text
 - ``check-bench`` compare a fresh ``BENCH_kernel.json`` against the
-  committed seed: the deterministic ``work`` section must match byte for
-  byte; host-measured rates only have to be within a (wide) ratio band,
-  catching order-of-magnitude regressions without flaking on machine noise.
+  committed seed: the deterministic ``work`` section (and ``scale.work``,
+  when present) must match byte for byte; host-measured rates have to be
+  within a (wide) ratio band, catching order-of-magnitude regressions
+  without flaking on machine noise, and ``events_per_sec`` additionally
+  has a one-sided floor (``--events-floor``, default 0.7x of the seed)
+  guarding the scheduler's throughput wins against silent regression.
 
 Every error path (missing file, malformed JSON, wrong schema) exits
 non-zero with a message on stderr, so CI fails loudly.
@@ -162,15 +165,56 @@ def _numeric_leaves(node: Any, prefix: str = "") -> dict[str, float]:
     return out
 
 
-def check_bench(candidate: dict, seed: dict, *, max_ratio: float) -> list[str]:
+def _check_host(host_new: dict[str, float], host_old: dict[str, float], *,
+                label: str, max_ratio: float, events_floor: float,
+                problems: list[str]) -> None:
+    """Ratio-band + events/sec-floor checks over one host leaf mapping."""
+    if set(host_new) != set(host_old):
+        missing = sorted(set(host_old) - set(host_new))
+        extra = sorted(set(host_new) - set(host_old))
+        problems.append(f"{label} keys differ: missing={missing} extra={extra}")
+        return
+    for key in sorted(host_old):
+        old, new = host_old[key], host_new[key]
+        if old <= 0 or new <= 0:
+            if old <= 0 and new <= 0:
+                continue
+            problems.append(f"{label}.{key}: {old} -> {new} (sign change)")
+            continue
+        ratio = new / old if new > old else old / new
+        if ratio > max_ratio:
+            problems.append(
+                f"{label}.{key}: {old:.4g} -> {new:.4g} "
+                f"(ratio {ratio:.1f}x exceeds {max_ratio:g}x band)"
+            )
+        if (events_floor > 0
+                and key.rsplit(".", 1)[-1] == "events_per_sec"
+                and new < events_floor * old):
+            problems.append(
+                f"{label}.{key}: {new:.4g} events/sec is below the "
+                f"{events_floor:g}x floor of the committed seed ({old:.4g}) "
+                "-- scheduler throughput regression"
+            )
+
+
+def check_bench(candidate: dict, seed: dict, *, max_ratio: float,
+                events_floor: float = 0.7) -> list[str]:
     """Compare a fresh bench document against the committed seed.
 
     Returns a list of problems (empty = pass).  The ``work`` section is
     deterministic by contract and must serialize identically; ``host``
-    numbers are machine-dependent and only checked for structural equality
-    and a worst-case ratio band.
+    numbers are machine-dependent and checked for structural equality, a
+    worst-case ratio band, and -- for ``events_per_sec`` leaves -- a
+    one-sided *floor*: the candidate rate must stay above ``events_floor``
+    times the seed rate (default 0.7), so a PR cannot silently shed the
+    scheduler's throughput.  Pass ``events_floor=0`` to disable the floor.
+
+    A ``scale`` section (request-count rungs beyond the standard ladder,
+    e.g. the 1M constant-memory rung) is checked with the same rules when
+    both documents carry one; a candidate may introduce the section, but
+    dropping one the seed has is an error.
     """
-    problems = []
+    problems: list[str] = []
     for doc, label in ((candidate, "candidate"), (seed, "seed")):
         if doc.get("schema") != BENCH_SCHEMA:
             problems.append(
@@ -187,26 +231,32 @@ def check_bench(candidate: dict, seed: dict, *, max_ratio: float) -> list[str]:
             "if intentional, re-commit bench_reports/BENCH_kernel.json)"
         )
 
-    host_new = _numeric_leaves(candidate.get("host", {}))
-    host_old = _numeric_leaves(seed.get("host", {}))
-    if set(host_new) != set(host_old):
-        missing = sorted(set(host_old) - set(host_new))
-        extra = sorted(set(host_new) - set(host_old))
-        problems.append(f"host keys differ: missing={missing} extra={extra}")
-        return problems
-    for key in sorted(host_old):
-        old, new = host_old[key], host_new[key]
-        if old <= 0 or new <= 0:
-            if old <= 0 and new <= 0:
-                continue
-            problems.append(f"host.{key}: {old} -> {new} (sign change)")
-            continue
-        ratio = new / old if new > old else old / new
-        if ratio > max_ratio:
+    _check_host(
+        _numeric_leaves(candidate.get("host", {})),
+        _numeric_leaves(seed.get("host", {})),
+        label="host", max_ratio=max_ratio, events_floor=events_floor,
+        problems=problems,
+    )
+
+    scale_new = candidate.get("scale")
+    scale_old = seed.get("scale")
+    if scale_old is not None and scale_new is None:
+        problems.append(
+            "scale section missing from candidate (the seed has one)"
+        )
+    elif scale_new is not None and scale_old is not None:
+        if (json.dumps(scale_new.get("work"), sort_keys=True)
+                != json.dumps(scale_old.get("work"), sort_keys=True)):
             problems.append(
-                f"host.{key}: {old:.4g} -> {new:.4g} "
-                f"(ratio {ratio:.1f}x exceeds {max_ratio:g}x band)"
+                "scale.work section differs from seed (deterministic fields "
+                "changed; if intentional, re-commit the bench seed)"
             )
+        _check_host(
+            _numeric_leaves(scale_new.get("host", {})),
+            _numeric_leaves(scale_old.get("host", {})),
+            label="scale.host", max_ratio=max_ratio,
+            events_floor=events_floor, problems=problems,
+        )
     return problems
 
 
@@ -268,6 +318,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed worst-case ratio for host-measured numbers "
              "(default 25x: catches order-of-magnitude regressions, "
              "tolerates machine variance)")
+    p_check.add_argument(
+        "--events-floor", type=float, default=0.7,
+        help="fail when an events_per_sec leaf drops below this fraction "
+             "of the committed seed (default 0.7; 0 disables).  Lower it "
+             "on noisy shared runners rather than disabling it")
     return parser
 
 
@@ -299,13 +354,15 @@ def main(argv: list[str] | None = None) -> int:
         elif args.command == "check-bench":
             candidate = _load_json(args.candidate)
             seed = _load_json(args.seed)
-            problems = check_bench(candidate, seed, max_ratio=args.max_ratio)
+            problems = check_bench(candidate, seed, max_ratio=args.max_ratio,
+                                   events_floor=args.events_floor)
             if problems:
                 for problem in problems:
                     print(f"FAIL: {problem}", file=sys.stderr)
                 return 1
             print(f"ok: {args.candidate} matches seed "
-                  f"(work byte-identical, host within {args.max_ratio:g}x)")
+                  f"(work byte-identical, host within {args.max_ratio:g}x, "
+                  f"events/sec floor {args.events_floor:g}x)")
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

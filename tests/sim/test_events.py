@@ -69,6 +69,51 @@ class TestSchedule:
         h1.cancel()
         assert len(loop) == 1
 
+    def test_len_cancel_before_pop_is_live_and_idempotent(self):
+        # the live counter drops at cancel time, while the cancelled
+        # entries still sit in the heap awaiting their (skipped) pop
+        loop = EventLoop()
+        handles = [loop.schedule(float(i + 1), lambda: None)
+                   for i in range(4)]
+        assert len(loop) == 4
+        handles[0].cancel()
+        handles[2].cancel()
+        assert len(loop) == 2
+        handles[0].cancel()  # double cancel must not double-decrement
+        assert len(loop) == 2
+        loop.run_until(10.0)
+        assert len(loop) == 0
+
+    def test_len_periodic_rearm_keeps_one_live_entry(self):
+        loop = EventLoop()
+        fired = []
+        handle = loop.schedule_periodic(
+            1.0, lambda: fired.append(loop.clock.now())
+        )
+        assert len(loop) == 1
+        for deadline in (1.0, 2.0, 3.0):
+            loop.run_until(deadline)
+            assert len(loop) == 1  # the re-armed entry is live again
+        handle.cancel()
+        assert len(loop) == 0
+        loop.run_until(10.0)
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_len_periodic_cancel_in_own_callback(self):
+        # at fire time the popped entry is no longer "scheduled", so a
+        # cancel from inside the callback must not double-decrement
+        loop = EventLoop()
+        fired = []
+
+        def cb():
+            fired.append(loop.clock.now())
+            handle.cancel()
+
+        handle = loop.schedule_periodic(1.0, cb)
+        loop.run_until(5.0)
+        assert fired == [1.0]
+        assert len(loop) == 0
+
 
 class TestPeriodic:
     def test_fires_every_interval(self):

@@ -234,6 +234,63 @@ class TestHedgeLoserCancellation:
         assert hedge.observations == 1
 
 
+class TestLenLiveCounter:
+    """``len(kernel)`` is an O(1) live-entry counter over both lanes --
+    cancelled-but-unpopped entries are excluded the moment they cancel."""
+
+    def test_blocked_process_holds_no_lane_entry(self):
+        kernel, __ = make_kernel()
+        ev = kernel.event("go")
+        ran = []
+
+        def waiter():
+            yield ev
+            ran.append(1)
+
+        kernel.spawn(waiter())
+        assert len(kernel) == 1  # the spawn start entry
+        kernel.run_until(0.0)    # started; now registered on the event
+        assert len(kernel) == 0
+        ev.trigger()
+        assert len(kernel) == 1  # ready-lane resume queued
+        kernel.run_all()
+        assert len(kernel) == 0
+        assert ran == [1]
+
+    def test_cancel_before_pop_excludes_ready_entry(self):
+        kernel, __ = make_kernel()
+        ev = kernel.event("go")
+        ran = []
+
+        def waiter():
+            yield ev
+            ran.append(1)
+
+        process = kernel.spawn(waiter())
+        kernel.run_until(0.0)
+        ev.trigger()
+        assert len(kernel) == 1
+        process.cancel()         # stale ready entry stays queued...
+        assert len(kernel) == 0  # ...but the live count drops now
+        fired_before = kernel.events_fired
+        kernel.run_all()         # the stale pop must not count as an event
+        assert kernel.events_fired == fired_before
+        assert ran == [] and process.cancelled
+
+    def test_cancel_unstarted_process_decrements(self):
+        kernel, __ = make_kernel()
+
+        def body():
+            yield Timeout(1.0)
+
+        process = kernel.spawn(body())
+        assert len(kernel) == 1
+        process.cancel()
+        assert len(kernel) == 0
+        kernel.run_all()
+        assert kernel.events_fired == 0
+
+
 class TestDeferredIo:
     def test_collection_is_scoped(self):
         assert not io_collection_active()

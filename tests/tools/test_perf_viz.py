@@ -148,8 +148,64 @@ class TestCheckBench:
     def test_host_ratio_band(self):
         fresh = bench_doc()
         fresh["host"]["ladder"][0]["events_per_sec"] = 8000.0 / 30.0
-        assert check_bench(fresh, bench_doc(), max_ratio=25.0)
-        assert check_bench(fresh, bench_doc(), max_ratio=50.0) == []
+        assert check_bench(fresh, bench_doc(), max_ratio=25.0,
+                           events_floor=0.0)
+        assert check_bench(fresh, bench_doc(), max_ratio=50.0,
+                           events_floor=0.0) == []
+
+    def test_events_per_sec_floor_is_one_sided(self):
+        # a 2x *speedup* passes the floor; a drop below 0.7x fails it
+        faster = bench_doc()
+        faster["host"]["ladder"][0]["events_per_sec"] = 16000.0
+        assert check_bench(faster, bench_doc(), max_ratio=25.0) == []
+        slower = bench_doc()
+        slower["host"]["ladder"][0]["events_per_sec"] = 8000.0 * 0.6
+        problems = check_bench(slower, bench_doc(), max_ratio=25.0)
+        assert any("below the 0.7x floor" in p for p in problems)
+        # wall_seconds regressions are NOT floored (ratio band only)
+        slow_wall = bench_doc()
+        slow_wall["host"]["ladder"][0]["wall_seconds"] = 0.5 / 0.6
+        assert check_bench(slow_wall, bench_doc(), max_ratio=25.0) == []
+
+    def test_events_floor_zero_disables(self):
+        slower = bench_doc()
+        slower["host"]["ladder"][0]["events_per_sec"] = 8000.0 * 0.5
+        assert check_bench(slower, bench_doc(), max_ratio=25.0,
+                           events_floor=0.0) == []
+
+    def test_events_floor_configurable(self):
+        slower = bench_doc()
+        slower["host"]["ladder"][0]["events_per_sec"] = 8000.0 * 0.6
+        assert check_bench(slower, bench_doc(), max_ratio=25.0,
+                           events_floor=0.5) == []
+
+    def test_scale_section_checked_when_both_present(self):
+        def with_scale(events_per_sec=9000.0, events=4_000_000):
+            doc = bench_doc()
+            doc["scale"] = {
+                "work": {"ladder": {"1000000": {"events": events}}},
+                "host": {"ladder": {"1000000":
+                                    {"events_per_sec": events_per_sec}}},
+            }
+            return doc
+
+        assert check_bench(with_scale(), with_scale(), max_ratio=25.0) == []
+        # scale.work is determinism-checked like work
+        drift = check_bench(with_scale(events=4_000_001), with_scale(),
+                            max_ratio=25.0)
+        assert any("scale.work section differs" in p for p in drift)
+        # scale host rates get the same floor
+        slow = check_bench(with_scale(events_per_sec=9000.0 * 0.6),
+                           with_scale(), max_ratio=25.0)
+        assert any("scale.host" in p and "floor" in p for p in slow)
+
+    def test_scale_section_may_be_introduced_but_not_dropped(self):
+        doc = bench_doc()
+        scaled = bench_doc()
+        scaled["scale"] = {"work": {}, "host": {}}
+        assert check_bench(scaled, doc, max_ratio=25.0) == []  # new section ok
+        problems = check_bench(doc, scaled, max_ratio=25.0)
+        assert any("scale section missing" in p for p in problems)
 
     def test_host_sign_change_flagged_but_double_zero_ok(self):
         fresh, seed = bench_doc(), bench_doc()
