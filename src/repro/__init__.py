@@ -33,19 +33,38 @@ Quickstart::
     assert again.fully_cached           # warm read served locally
 """
 
-from repro.core import (
-    CacheConfig,
-    CacheDirectory,
-    CacheReadResult,
-    CacheScope,
-    LocalCacheManager,
-    MetricsRegistry,
-    PageId,
-    QuotaManager,
-)
-from repro.sim import EventLoop, RngStream, SimClock
+# Convenience exports resolve lazily (PEP 562) so that importing one layer
+# does not drag in the others -- in particular, the transport-agnostic cache
+# core (repro.core) must be importable without loading the simulation
+# substrate (DESIGN.md §14).
+_EXPORTS = {
+    "CacheConfig": "repro.core",
+    "CacheDirectory": "repro.core",
+    "CacheReadResult": "repro.core",
+    "CacheScope": "repro.core",
+    "LocalCacheManager": "repro.core",
+    "MetricsRegistry": "repro.core",
+    "PageId": "repro.core",
+    "QuotaManager": "repro.core",
+    "EventLoop": "repro.sim",
+    "SimClock": "repro.ports",
+    "RngStream": "repro.ports",
+}
 
 __version__ = "1.0.0"
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))
 
 __all__ = [
     "LocalCacheManager",

@@ -21,6 +21,7 @@ from repro.core.admission import (
     ShadowCache,
 )
 from repro.core.cache_manager import CacheReadResult, LocalCacheManager
+from repro.core.engine import CacheEngine
 from repro.core.config import (
     DEFAULT_PAGE_SIZE,
     GIB,
@@ -37,6 +38,7 @@ from repro.core.quota import QuotaManager, QuotaViolation
 from repro.core.scope import CacheScope
 
 __all__ = [
+    "CacheEngine",
     "LocalCacheManager",
     "CacheReadResult",
     "CacheConfig",

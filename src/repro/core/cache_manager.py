@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.admission.base import AdmissionPolicy, AdmitAll
 from repro.core.allocator import make_allocator
@@ -47,10 +48,12 @@ from repro.errors import (
     PageNotFoundError,
 )
 from repro.obs.tracer import current_tracer
-from repro.sim.clock import Clock, SimClock
-from repro.sim.events import EventLoop
-from repro.sim.rng import RngStream
-from repro.storage.remote import DataSource, ReadResult
+from repro.ports.clock import Clock, SimClock
+from repro.ports.rng import RngStream
+
+if TYPE_CHECKING:
+    from repro.ports.concurrency import SchedulerPort
+    from repro.storage.remote import DataSource, ReadResult
 
 
 @dataclass(slots=True)
@@ -92,8 +95,9 @@ class LocalCacheManager:
         quota: hierarchical quota manager; defaults to no quotas.
         metrics: metrics registry; created if not supplied.
         rng: random stream (random eviction, quota randomization).
-        event_loop: when supplied and ``config.default_ttl`` or explicit
-            page TTLs are used, a periodic TTL sweep is scheduled on it.
+        event_loop: any :class:`~repro.ports.concurrency.SchedulerPort`
+            (the kernel's ``EventLoop``, or the service scheduler); when
+            supplied, a periodic TTL sweep is scheduled on it.
     """
 
     def __init__(
@@ -106,7 +110,7 @@ class LocalCacheManager:
         quota: QuotaManager | None = None,
         metrics: MetricsRegistry | None = None,
         rng: RngStream | None = None,
-        event_loop: EventLoop | None = None,
+        event_loop: SchedulerPort | None = None,
     ) -> None:
         self.config = config if config is not None else CacheConfig()
         self.clock = clock if clock is not None else SimClock()

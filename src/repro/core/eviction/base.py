@@ -7,7 +7,7 @@ from typing import TYPE_CHECKING, Protocol, runtime_checkable
 from repro.core.page import PageId
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.sim.rng import RngStream
+    from repro.ports.rng import RngStream
 
 
 @runtime_checkable

@@ -10,7 +10,7 @@ from __future__ import annotations
 from collections import OrderedDict
 
 from repro.core.page import PageId
-from repro.sim.rng import RngStream
+from repro.ports.rng import RngStream
 
 
 class LruPolicy:

@@ -26,7 +26,7 @@ from typing import Iterable
 import numpy as np
 
 from repro.analysis.timeseries import RingSeries
-from repro.sim.rng import RngStream
+from repro.ports.rng import RngStream
 
 
 class Counter:

@@ -16,7 +16,24 @@ Three implementations behind one interface:
 from repro.core.pagestore.base import PageStore, StoredPage
 from repro.core.pagestore.local import LocalFilePageStore
 from repro.core.pagestore.memory import MemoryPageStore
-from repro.core.pagestore.simulated import FaultPlan, SimulatedSsdPageStore
+
+# The simulated store is the one pagestore that depends on the virtual-time
+# kernel; it is loaded lazily so importing repro.core (and CacheEngine in
+# particular) never pulls in repro.sim (DESIGN.md §14).
+_SIMULATED = {"FaultPlan", "SimulatedSsdPageStore"}
+
+
+def __getattr__(name: str):
+    if name in _SIMULATED:
+        from repro.core.pagestore import simulated
+
+        return getattr(simulated, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | _SIMULATED)
+
 
 __all__ = [
     "PageStore",

@@ -28,6 +28,7 @@ Design points the paper calls out, all honoured here:
 from __future__ import annotations
 
 import os
+import threading
 import zlib
 from pathlib import Path
 from urllib.parse import quote, unquote
@@ -66,6 +67,10 @@ class LocalFilePageStore:
         self._page_size = page_size
         self._verify = verify_checksums
         self._used: dict[int, int] = {}
+        # usage accounting is a read-modify-write shared by every put and
+        # delete; the manager's striped page locks do not cover it, so it
+        # needs its own lock to stay exact under concurrent writers
+        self._used_lock = threading.Lock()
         for index, root in enumerate(self._roots):
             (root / f"page_size={page_size}").mkdir(parents=True, exist_ok=True)
             self._used[index] = self._scan_usage(index)
@@ -103,7 +108,10 @@ class LocalFilePageStore:
             if exc.errno == 28:  # ENOSPC
                 raise NoSpaceLeftError(str(exc)) from exc
             raise
-        self._used[directory] = self._used.get(directory, 0) + len(data) - previous
+        with self._used_lock:
+            self._used[directory] = (
+                self._used.get(directory, 0) + len(data) - previous
+            )
 
     def get(
         self, page_id: PageId, directory: int,
@@ -133,7 +141,8 @@ class LocalFilePageStore:
         crc_path = path.with_suffix(".crc")
         if crc_path.exists():
             crc_path.unlink()
-        self._used[directory] = self._used.get(directory, 0) - size
+        with self._used_lock:
+            self._used[directory] = self._used.get(directory, 0) - size
         self._prune_empty_dirs(path.parent, directory)
         return True
 

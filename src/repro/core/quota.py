@@ -26,7 +26,7 @@ from dataclasses import dataclass
 from repro.core.metastore import PageMetaStore
 from repro.core.page import PageInfo
 from repro.core.scope import CacheScope
-from repro.sim.rng import RngStream
+from repro.ports.rng import RngStream
 
 
 @dataclass(frozen=True, slots=True)

@@ -101,12 +101,20 @@ class NoWallClockRule(Rule):
     """
 
     rule_id = "DET001"
-    description = "no wall-clock reads outside sim/clock.py and the page.py shim"
+    description = "no wall-clock reads outside ports/clock.py and sanctioned real-time zones"
     allow = (
-        "src/repro/sim/clock.py",      # WallClock is the one wall-time impl
+        "src/repro/ports/clock.py",    # WallClock is the one wall-time impl
         "src/repro/core/page.py",      # documented set_time_source() shim
         "src/repro/sim/hostclock.py",  # sanctioned host-clock API (profiling)
         "tests/core/test_page.py",     # exercises the shim against real time
+        # The real-transport zone (DESIGN.md §14): the asyncio service and
+        # its load generator run on wall-clock time by design.
+        # service/sim_transport.py is deliberately NOT listed -- it runs in
+        # virtual time and stays under full determinism scrutiny.
+        "src/repro/service/protocol.py",
+        "src/repro/service/server.py",
+        "src/repro/service/client.py",
+        "src/repro/tools/load_gen.py",
     )
 
     def check(self, tree, path, lines):
@@ -147,8 +155,8 @@ class SeededRngRule(Rule):
     """
 
     rule_id = "DET002"
-    description = "no `random` module or unseeded numpy generators outside sim/rng.py"
-    allow = ("src/repro/sim/rng.py",)
+    description = "no `random` module or unseeded numpy generators outside ports/rng.py"
+    allow = ("src/repro/ports/rng.py",)
 
     def check(self, tree, path, lines):
         for node in ast.walk(tree):
@@ -563,6 +571,7 @@ class NoPrintRule(Rule):
         "src/repro/tools",
         "src/repro/devtools",
         "benchmarks/harness.py",        # emit_report: the one reporter
+        "src/repro/service/server.py",  # CLI banner + drain summary
     )
 
     def check(self, tree, path, lines):

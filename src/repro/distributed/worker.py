@@ -2,12 +2,12 @@
 
 from __future__ import annotations
 
-from repro.core.cache_manager import CacheReadResult, LocalCacheManager
+from repro.core.cache_manager import CacheReadResult
 from repro.core.config import CacheConfig, CacheDirectory, MIB
 from repro.core.metrics import MetricsRegistry
-from repro.core.pagestore.simulated import SimulatedSsdPageStore
 from repro.core.scope import CacheScope
 from repro.obs.tracer import current_tracer
+from repro.service.sim_transport import build_sim_cache
 from repro.sim.clock import Clock, SimClock
 from repro.storage.device import DeviceProfile, StorageDevice
 from repro.storage.remote import DataSource
@@ -43,13 +43,11 @@ class CacheWorker:
             page_size=page_size,
             directories=[CacheDirectory(f"/{name}/ssd0", cache_capacity_bytes)],
         )
-        self.cache = LocalCacheManager(
+        self.cache = build_sim_cache(
             config,
             clock=self.clock,
-            page_store=SimulatedSsdPageStore(
-                StorageDevice(DeviceProfile.ssd_local(), self.clock,
-                              keep_records=False, queueing=False)
-            ),
+            device=StorageDevice(DeviceProfile.ssd_local(), self.clock,
+                                 keep_records=False, queueing=False),
             metrics=self.metrics,
         )
         self.requests_served = 0

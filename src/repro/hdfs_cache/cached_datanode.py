@@ -23,13 +23,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.admission.rate_limiter import BucketTimeRateLimit
-from repro.core.cache_manager import LocalCacheManager
 from repro.core.config import CacheConfig, CacheDirectory, GIB
 from repro.core.metrics import MetricsRegistry
-from repro.core.pagestore.simulated import SimulatedSsdPageStore
 from repro.errors import BlockNotFoundError
 from repro.hdfs_cache.block_mapping import BlockMapping
 from repro.obs.tracer import current_tracer
+from repro.service.sim_transport import build_sim_cache
 from repro.sim.clock import Clock
 from repro.sim.kernel import (
     collecting_io,
@@ -117,10 +116,10 @@ class CachedDataNode:
             page_size=page_size,
             directories=[CacheDirectory(f"/{datanode.name}/ssd0", cache_capacity_bytes)],
         )
-        self.cache = LocalCacheManager(
+        self.cache = build_sim_cache(
             config,
             clock=clock,
-            page_store=SimulatedSsdPageStore(self.ssd),
+            device=self.ssd,
             metrics=self.metrics,
         )
         self.mapping = BlockMapping()

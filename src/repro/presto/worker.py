@@ -16,6 +16,7 @@ from repro.presto.operators import (
 from repro.obs.tracer import current_tracer
 from repro.presto.split import Split
 from repro.presto.runtime_stats import QueryRuntimeStats
+from repro.service.sim_transport import build_sim_cache
 from repro.sim.clock import Clock, SimClock
 from repro.sim.kernel import Timeout, collecting_io, replay_plan
 from repro.storage.remote import DataSource
@@ -49,22 +50,19 @@ class Worker:
                 page_size=page_size,
                 directories=[CacheDirectory(f"/{name}/ssd0", cache_capacity_bytes)],
             )
-            page_store = None
+            device = None
             if ssd_backed:
                 # hits cost local-SSD time, not zero (Section 4.2)
-                from repro.core.pagestore.simulated import SimulatedSsdPageStore
                 from repro.storage.device import DeviceProfile, StorageDevice
 
-                page_store = SimulatedSsdPageStore(
-                    StorageDevice(DeviceProfile.ssd_local(), self.clock,
-                                  keep_records=False, queueing=False,
-                                  service_bucket="cache_ssd",
-                                  metrics=self.metrics)
-                )
-            self.cache = LocalCacheManager(
+                device = StorageDevice(DeviceProfile.ssd_local(), self.clock,
+                                       keep_records=False, queueing=False,
+                                       service_bucket="cache_ssd",
+                                       metrics=self.metrics)
+            self.cache = build_sim_cache(
                 config,
                 clock=self.clock,
-                page_store=page_store,
+                device=device,
                 admission=admission,
                 quota=quota,
                 metrics=self.metrics,

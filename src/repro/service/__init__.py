@@ -1,0 +1,41 @@
+"""The real transport: the cache core behind actual sockets (DESIGN.md §14).
+
+This package is the second adapter around :class:`~repro.core.engine.CacheEngine`
+(the first being the virtual-time kernel, adapted in
+:mod:`repro.service.sim_transport`):
+
+- :mod:`repro.service.protocol` -- the length-prefixed binary wire format
+  (GET/PUT/EVICT/STATS/HEALTH/LENGTH, request ids, error frames);
+- :mod:`repro.service.server` -- the asyncio TCP server with
+  per-connection backpressure and graceful drain;
+- :mod:`repro.service.client` -- the asyncio client pool, plus
+  :class:`~repro.service.client.RemoteCacheDataSource`, a synchronous
+  ``DataSource`` facade so the PR 1 resilience wrappers (retry, hedge,
+  breaker) compose over real sockets;
+- :mod:`repro.service.sim_transport` -- the kernel adapter that drives the
+  same engine in virtual time (and powers the sim-vs-real comparison).
+
+``repro.service`` (except ``sim_transport``) is a sanctioned real-time
+zone: DET001/KRN004 allow wall-clock here, and the
+``cache-core-transport-agnostic`` contract keeps ``repro.sim`` out.
+"""
+
+from repro.service.protocol import (
+    ErrorCode,
+    Opcode,
+    ProtocolError,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+)
+
+__all__ = [
+    "Opcode",
+    "ErrorCode",
+    "ProtocolError",
+    "encode_request",
+    "decode_request",
+    "encode_response",
+    "decode_response",
+]

@@ -1,0 +1,390 @@
+"""The cache service wire format: small, length-prefixed, binary.
+
+Every message is one *frame*::
+
+    u32  payload length (big-endian, excludes these 4 bytes)
+    u8   opcode  (request) / opcode|0x80 (success response) / 0xFF (error)
+    u64  request id (echoed verbatim in the response)
+    ...  opcode-specific body
+
+Request ids let a client pipeline many requests over one connection and
+match responses arriving in any order.  Errors are first-class frames
+(:class:`ErrorCode` + UTF-8 message) rather than closed sockets, so a
+client can distinguish "page not found" from "server going away".
+
+The codec here is pure bytes-in/bytes-out -- no sockets, no asyncio --
+so both the server, the client, and the protocol tests share one
+implementation and the doctest below can show a full round trip:
+
+>>> frame = encode_request(GetRequest("f", 0, 4096), request_id=7)
+>>> rid, req = decode_request(frame[4:])
+>>> rid, req.file_id, req.length
+(7, 'f', 4096)
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+
+MAX_FRAME = 16 * 1024 * 1024  # refuse absurd frames before allocating
+_HEADER = struct.Struct(">BQ")   # opcode, request id
+_LEN = struct.Struct(">I")
+
+_RESPONSE_BIT = 0x80
+_ERROR_OPCODE = 0xFF
+
+
+class ProtocolError(Exception):
+    """A frame that cannot be decoded (truncated, bad opcode, oversized)."""
+
+
+class Opcode(enum.IntEnum):
+    GET = 0x01
+    PUT = 0x02
+    EVICT = 0x03
+    STATS = 0x04
+    HEALTH = 0x05
+    LENGTH = 0x06
+
+
+class ErrorCode(enum.IntEnum):
+    BAD_REQUEST = 1
+    NOT_FOUND = 2
+    SERVER_ERROR = 3
+    DRAINING = 4
+    TOO_LARGE = 5
+
+
+# ---------------------------------------------------------------- requests
+
+
+@dataclass(frozen=True, slots=True)
+class GetRequest:
+    file_id: str
+    offset: int
+    length: int
+
+
+@dataclass(frozen=True, slots=True)
+class PutRequest:
+    file_id: str
+    page_index: int
+    data: bytes
+
+
+@dataclass(frozen=True, slots=True)
+class EvictRequest:
+    file_id: str
+    page_index: int | None  # None -> evict the whole file
+
+
+@dataclass(frozen=True, slots=True)
+class StatsRequest:
+    #: 0 = JSON, 1 = Prometheus exposition text
+    fmt: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class HealthRequest:
+    pass
+
+
+@dataclass(frozen=True, slots=True)
+class LengthRequest:
+    file_id: str
+
+
+Request = (
+    GetRequest | PutRequest | EvictRequest | StatsRequest | HealthRequest
+    | LengthRequest
+)
+
+
+# --------------------------------------------------------------- responses
+
+
+@dataclass(frozen=True, slots=True)
+class GetResponse:
+    data: bytes
+    fully_cached: bool
+    page_hits: int
+    page_misses: int
+
+
+@dataclass(frozen=True, slots=True)
+class PutResponse:
+    admitted: bool
+
+
+@dataclass(frozen=True, slots=True)
+class EvictResponse:
+    removed: int
+
+
+@dataclass(frozen=True, slots=True)
+class StatsResponse:
+    payload: bytes  # JSON or Prometheus text, per the request's fmt
+
+
+@dataclass(frozen=True, slots=True)
+class HealthResponse:
+    payload: bytes  # JSON health summary
+
+
+@dataclass(frozen=True, slots=True)
+class LengthResponse:
+    length: int
+
+
+@dataclass(frozen=True, slots=True)
+class ErrorResponse:
+    code: ErrorCode
+    message: str
+
+
+Response = (
+    GetResponse | PutResponse | EvictResponse | StatsResponse
+    | HealthResponse | LengthResponse | ErrorResponse
+)
+
+
+# ----------------------------------------------------------------- helpers
+
+
+def _pack_str(value: str) -> bytes:
+    raw = value.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise ProtocolError(f"string field too long ({len(raw)} bytes)")
+    return struct.pack(">H", len(raw)) + raw
+
+
+class _Cursor:
+    """Sequential reader over one frame payload with bounds checking."""
+
+    __slots__ = ("buf", "pos")
+
+    def __init__(self, buf: bytes, pos: int = 0) -> None:
+        self.buf = buf
+        self.pos = pos
+
+    def take(self, count: int) -> bytes:
+        end = self.pos + count
+        if end > len(self.buf):
+            raise ProtocolError(
+                f"truncated frame: wanted {count} bytes at {self.pos}, "
+                f"have {len(self.buf)}"
+            )
+        chunk = self.buf[self.pos:end]
+        self.pos = end
+        return chunk
+
+    def u8(self) -> int:
+        return self.take(1)[0]
+
+    def u32(self) -> int:
+        return struct.unpack(">I", self.take(4))[0]
+
+    def u64(self) -> int:
+        return struct.unpack(">Q", self.take(8))[0]
+
+    def i64(self) -> int:
+        return struct.unpack(">q", self.take(8))[0]
+
+    def string(self) -> str:
+        (n,) = struct.unpack(">H", self.take(2))
+        return self.take(n).decode("utf-8")
+
+    def blob(self) -> bytes:
+        n = self.u32()
+        return self.take(n)
+
+    def done(self) -> None:
+        if self.pos != len(self.buf):
+            raise ProtocolError(
+                f"{len(self.buf) - self.pos} trailing bytes in frame"
+            )
+
+
+def _frame(opcode: int, request_id: int, body: bytes) -> bytes:
+    payload_len = _HEADER.size + len(body)
+    if payload_len > MAX_FRAME:
+        raise ProtocolError(f"frame too large ({payload_len} bytes)")
+    return _LEN.pack(payload_len) + _HEADER.pack(opcode, request_id) + body
+
+
+# ----------------------------------------------------------------- encode
+
+
+def encode_request(request: Request, *, request_id: int) -> bytes:
+    """Serialize one request into a full frame (length prefix included)."""
+    if isinstance(request, GetRequest):
+        body = _pack_str(request.file_id) + struct.pack(
+            ">QI", request.offset, request.length
+        )
+        return _frame(Opcode.GET, request_id, body)
+    if isinstance(request, PutRequest):
+        body = (
+            _pack_str(request.file_id)
+            + struct.pack(">II", request.page_index, len(request.data))
+            + request.data
+        )
+        return _frame(Opcode.PUT, request_id, body)
+    if isinstance(request, EvictRequest):
+        index = -1 if request.page_index is None else request.page_index
+        body = _pack_str(request.file_id) + struct.pack(">q", index)
+        return _frame(Opcode.EVICT, request_id, body)
+    if isinstance(request, StatsRequest):
+        return _frame(Opcode.STATS, request_id, struct.pack(">B", request.fmt))
+    if isinstance(request, HealthRequest):
+        return _frame(Opcode.HEALTH, request_id, b"")
+    if isinstance(request, LengthRequest):
+        return _frame(Opcode.LENGTH, request_id, _pack_str(request.file_id))
+    raise ProtocolError(f"unknown request type {type(request).__name__}")
+
+
+def encode_response(
+    response: Response, *, request_id: int, opcode: Opcode | None = None,
+) -> bytes:
+    """Serialize one response into a full frame.
+
+    ``opcode`` is required only for success responses whose type does not
+    determine it (it always does today); errors ignore it.
+    """
+    if isinstance(response, ErrorResponse):
+        body = struct.pack(">H", int(response.code)) + _pack_str(
+            response.message
+        )
+        return _frame(_ERROR_OPCODE, request_id, body)
+    if isinstance(response, GetResponse):
+        body = (
+            struct.pack(
+                ">BII",
+                1 if response.fully_cached else 0,
+                response.page_hits,
+                response.page_misses,
+            )
+            + struct.pack(">I", len(response.data))
+            + response.data
+        )
+        return _frame(Opcode.GET | _RESPONSE_BIT, request_id, body)
+    if isinstance(response, PutResponse):
+        body = struct.pack(">B", 1 if response.admitted else 0)
+        return _frame(Opcode.PUT | _RESPONSE_BIT, request_id, body)
+    if isinstance(response, EvictResponse):
+        body = struct.pack(">I", response.removed)
+        return _frame(Opcode.EVICT | _RESPONSE_BIT, request_id, body)
+    if isinstance(response, StatsResponse):
+        body = struct.pack(">I", len(response.payload)) + response.payload
+        return _frame(Opcode.STATS | _RESPONSE_BIT, request_id, body)
+    if isinstance(response, HealthResponse):
+        body = struct.pack(">I", len(response.payload)) + response.payload
+        return _frame(Opcode.HEALTH | _RESPONSE_BIT, request_id, body)
+    if isinstance(response, LengthResponse):
+        body = struct.pack(">Q", response.length)
+        return _frame(Opcode.LENGTH | _RESPONSE_BIT, request_id, body)
+    raise ProtocolError(f"unknown response type {type(response).__name__}")
+
+
+# ----------------------------------------------------------------- decode
+
+
+def decode_request(payload: bytes) -> tuple[int, Request]:
+    """Parse one request payload (frame minus length prefix)."""
+    cur = _Cursor(payload)
+    opcode = cur.u8()
+    request_id = cur.u64()
+    try:
+        op = Opcode(opcode)
+    except ValueError:
+        raise ProtocolError(f"unknown request opcode 0x{opcode:02x}") from None
+    if op is Opcode.GET:
+        file_id = cur.string()
+        offset, length = struct.unpack(">QI", cur.take(12))
+        request: Request = GetRequest(file_id, offset, length)
+    elif op is Opcode.PUT:
+        file_id = cur.string()
+        page_index, data_len = struct.unpack(">II", cur.take(8))
+        request = PutRequest(file_id, page_index, cur.take(data_len))
+    elif op is Opcode.EVICT:
+        file_id = cur.string()
+        index = cur.i64()
+        request = EvictRequest(file_id, None if index < 0 else index)
+    elif op is Opcode.STATS:
+        request = StatsRequest(cur.u8())
+    elif op is Opcode.HEALTH:
+        request = HealthRequest()
+    else:  # Opcode.LENGTH
+        request = LengthRequest(cur.string())
+    cur.done()
+    return request_id, request
+
+
+def decode_response(payload: bytes) -> tuple[int, Response]:
+    """Parse one response payload (frame minus length prefix)."""
+    cur = _Cursor(payload)
+    opcode = cur.u8()
+    request_id = cur.u64()
+    if opcode == _ERROR_OPCODE:
+        (code,) = struct.unpack(">H", cur.take(2))
+        message = cur.string()
+        cur.done()
+        return request_id, ErrorResponse(ErrorCode(code), message)
+    if not opcode & _RESPONSE_BIT:
+        raise ProtocolError(f"response frame without response bit: 0x{opcode:02x}")
+    try:
+        op = Opcode(opcode & ~_RESPONSE_BIT)
+    except ValueError:
+        raise ProtocolError(f"unknown response opcode 0x{opcode:02x}") from None
+    if op is Opcode.GET:
+        fully_cached, hits, misses = struct.unpack(">BII", cur.take(9))
+        response: Response = GetResponse(cur.blob(), bool(fully_cached), hits, misses)
+    elif op is Opcode.PUT:
+        response = PutResponse(bool(cur.u8()))
+    elif op is Opcode.EVICT:
+        response = EvictResponse(cur.u32())
+    elif op is Opcode.STATS:
+        response = StatsResponse(cur.blob())
+    elif op is Opcode.HEALTH:
+        response = HealthResponse(cur.blob())
+    else:  # Opcode.LENGTH
+        response = LengthResponse(cur.u64())
+    cur.done()
+    return request_id, response
+
+
+# ------------------------------------------------------------ frame stream
+
+
+def read_frame_length(prefix: bytes) -> int:
+    """Validate a 4-byte length prefix; returns the payload length."""
+    if len(prefix) != _LEN.size:
+        raise ProtocolError(f"length prefix is {len(prefix)} bytes, want 4")
+    (payload_len,) = _LEN.unpack(prefix)
+    if payload_len < _HEADER.size:
+        raise ProtocolError(f"frame payload too short ({payload_len} bytes)")
+    if payload_len > MAX_FRAME:
+        raise ProtocolError(f"frame too large ({payload_len} bytes)")
+    return payload_len
+
+
+async def read_frame(reader) -> bytes | None:
+    """Read one frame payload from an ``asyncio.StreamReader``.
+
+    Returns ``None`` on clean EOF at a frame boundary; raises
+    :class:`ProtocolError` on a torn or oversized frame.
+    """
+    import asyncio
+
+    try:
+        prefix = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid length prefix") from exc
+    payload_len = read_frame_length(prefix)
+    try:
+        return await reader.readexactly(payload_len)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid frame") from exc

@@ -1,0 +1,423 @@
+"""The asyncio cache server: one `CacheEngine`, real sockets.
+
+Design (DESIGN.md §14):
+
+- **One engine, many workers.**  The engine is thread-safe (striped page
+  locks), so request handlers run on a small thread pool via
+  ``run_in_executor`` while the event loop stays free for IO.
+- **Per-connection backpressure.**  Each connection admits at most
+  ``max_inflight`` concurrent requests; the frame-read loop *stops
+  reading* while the window is full, so overload propagates to the
+  client's socket buffer instead of growing server queues (the same
+  admission-control stance as the simulated coordinator).
+- **Graceful drain.**  ``drain()`` stops the listener, lets every
+  in-flight request finish and flush, answers late frames with a
+  ``DRAINING`` error, then closes connections.  The return value says
+  whether the shutdown was clean -- the CI smoke job asserts it.
+
+Wall-clock note: this module is part of the sanctioned real-time zone
+(DET001/KRN004 allowlist); everything under the engine still works off
+the injected clock port.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any
+
+from repro.core.engine import CacheEngine
+from repro.service import protocol as wire
+from repro.service.protocol import (
+    ErrorCode,
+    EvictRequest,
+    EvictResponse,
+    GetRequest,
+    GetResponse,
+    HealthRequest,
+    HealthResponse,
+    LengthRequest,
+    LengthResponse,
+    ProtocolError,
+    PutRequest,
+    PutResponse,
+    StatsRequest,
+    StatsResponse,
+)
+
+
+class CacheServer:
+    """Serve one :class:`CacheEngine` over TCP.
+
+    Args:
+        engine: the cache core; must outlive the server.
+        host / port: bind address; ``port=0`` picks a free port (see
+            :attr:`port` after :meth:`start`).
+        max_inflight: per-connection concurrent-request window.
+        executor_workers: thread pool size for engine calls.
+        ttl_interval: when > 0, runs ``engine.ttl_sweep()`` every that
+            many (wall) seconds while the server is up.
+    """
+
+    def __init__(
+        self,
+        engine: CacheEngine,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_inflight: int = 32,
+        executor_workers: int = 8,
+        ttl_interval: float = 0.0,
+    ) -> None:
+        self.engine = engine
+        self.host = host
+        self.port = port
+        self.max_inflight = max_inflight
+        self.ttl_interval = ttl_interval
+        self._executor = ThreadPoolExecutor(
+            max_workers=executor_workers, thread_name_prefix="cache-engine"
+        )
+        self._server: asyncio.base_events.Server | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._inflight: set[asyncio.Task] = set()
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._draining = False
+        self._ttl_task: asyncio.Task | None = None
+        self._served = 0
+        self._rejected = 0
+
+    # ---------------------------------------------------------------- control
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        if self.ttl_interval > 0:
+            self._ttl_task = asyncio.create_task(self._ttl_loop())
+
+    async def drain(self, timeout: float = 30.0) -> dict[str, Any]:
+        """Graceful shutdown; returns a summary the caller can assert on."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._ttl_task is not None:
+            self._ttl_task.cancel()
+            try:
+                await self._ttl_task
+            except asyncio.CancelledError:
+                pass  # cancellation is this loop's normal exit
+            self._ttl_task = None
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        # first let every in-flight request finish and flush its response
+        clean = await self._await_tasks(self._inflight, deadline)
+        # then retire the connections themselves: closing the transports
+        # wakes read loops parked at a frame boundary (they see EOF)
+        for writer in list(self._writers):
+            self._close_writer(writer)
+        clean = await self._await_tasks(self._conn_tasks, deadline) and clean
+        self._executor.shutdown(wait=True)
+        return {
+            "clean": clean,
+            "served": self._served,
+            "rejected": self._rejected,
+        }
+
+    @staticmethod
+    async def _await_tasks(tasks: set[asyncio.Task], deadline: float) -> bool:
+        """Wait for ``tasks`` until ``deadline``; cancel stragglers.
+
+        Returns True when everything finished on its own (a clean drain).
+        """
+        pending = {task for task in tasks if not task.done()}
+        if not pending:
+            return True
+        remaining = deadline - asyncio.get_running_loop().time()
+        if remaining > 0:
+            _done, pending = await asyncio.wait(pending, timeout=remaining)
+        if not pending:
+            return True
+        for task in pending:
+            task.cancel()
+        await asyncio.gather(*pending, return_exceptions=True)
+        return False
+
+    async def _ttl_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.ttl_interval)
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(self._executor, self.engine.ttl_sweep)
+
+    # ------------------------------------------------------------ connections
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        assert task is not None
+        self._conn_tasks.add(task)
+        task.add_done_callback(self._conn_tasks.discard)
+        self._writers.add(writer)
+        try:
+            await self._serve_connection(reader, writer)
+        except (ConnectionError, asyncio.IncompleteReadError) as exc:
+            self.engine.metrics.record_error("service_connection", exc)
+        finally:
+            self._writers.discard(writer)
+            self._close_writer(writer)
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        window = asyncio.Semaphore(self.max_inflight)
+        write_lock = asyncio.Lock()
+        inflight: set[asyncio.Task] = set()
+        while True:
+            try:
+                payload = await wire.read_frame(reader)
+            except ProtocolError as exc:
+                self.engine.metrics.record_error("service_frame", exc)
+                await self._send(
+                    writer, write_lock,
+                    wire.encode_response(
+                        wire.ErrorResponse(ErrorCode.BAD_REQUEST, str(exc)),
+                        request_id=0,
+                    ),
+                )
+                break
+            if payload is None:
+                break
+            # backpressure: the read loop parks here while the window is
+            # full, pushing overload back into the kernel socket buffer
+            await window.acquire()
+            task = asyncio.create_task(
+                self._handle_frame(payload, writer, write_lock, window)
+            )
+            inflight.add(task)
+            task.add_done_callback(inflight.discard)
+            # drain() waits on the server-wide set so idle connections do
+            # not hold shutdown hostage while real work is still running
+            self._inflight.add(task)
+            task.add_done_callback(self._inflight.discard)
+        if inflight:
+            await asyncio.gather(*inflight, return_exceptions=True)
+
+    async def _handle_frame(
+        self,
+        payload: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        window: asyncio.Semaphore,
+    ) -> None:
+        try:
+            request_id = 0
+            try:
+                request_id, request = wire.decode_request(payload)
+            except ProtocolError as exc:
+                self.engine.metrics.record_error("service_decode", exc)
+                response: wire.Response = wire.ErrorResponse(
+                    ErrorCode.BAD_REQUEST, str(exc)
+                )
+            else:
+                if self._draining:
+                    self._rejected += 1
+                    response = wire.ErrorResponse(
+                        ErrorCode.DRAINING, "server is draining"
+                    )
+                else:
+                    loop = asyncio.get_running_loop()
+                    started = time.perf_counter()
+                    response = await loop.run_in_executor(
+                        self._executor, self._dispatch, request
+                    )
+                    self._served += 1
+                    self.engine.metrics.histogram(
+                        "service_request_seconds"
+                    ).observe(time.perf_counter() - started)
+            await self._send(
+                writer, write_lock,
+                wire.encode_response(response, request_id=request_id),
+            )
+        finally:
+            window.release()
+
+    async def _send(
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        frame: bytes,
+    ) -> None:
+        async with write_lock:
+            if writer.is_closing():
+                return
+            writer.write(frame)
+            try:
+                await writer.drain()
+            except ConnectionError as exc:
+                self.engine.metrics.record_error("service_write", exc)
+
+    @staticmethod
+    def _close_writer(writer: asyncio.StreamWriter) -> None:
+        if not writer.is_closing():
+            writer.close()
+
+    # --------------------------------------------------------------- dispatch
+
+    def _dispatch(self, request: wire.Request) -> wire.Response:
+        """Engine call for one request; runs on the executor thread pool."""
+        try:
+            if isinstance(request, GetRequest):
+                result = self.engine.get(
+                    request.file_id, request.offset, request.length
+                )
+                return GetResponse(
+                    data=result.data,
+                    fully_cached=result.fully_cached,
+                    page_hits=result.page_hits,
+                    page_misses=result.page_misses,
+                )
+            if isinstance(request, PutRequest):
+                return PutResponse(
+                    self.engine.put(
+                        request.file_id, request.page_index, request.data
+                    )
+                )
+            if isinstance(request, EvictRequest):
+                return EvictResponse(
+                    self.engine.evict(request.file_id, request.page_index)
+                )
+            if isinstance(request, StatsRequest):
+                if request.fmt == 1:
+                    return StatsResponse(self.engine.prometheus().encode())
+                stats = dict(self.engine.stats())
+                stats["server"] = {
+                    "served": self._served,
+                    "rejected": self._rejected,
+                    "connections": len(self._conn_tasks),
+                    "draining": self._draining,
+                }
+                return StatsResponse(
+                    json.dumps(stats, sort_keys=True).encode()
+                )
+            if isinstance(request, HealthRequest):
+                health = dict(self.engine.health())
+                health["draining"] = self._draining
+                return HealthResponse(
+                    json.dumps(health, sort_keys=True).encode()
+                )
+            if isinstance(request, LengthRequest):
+                return LengthResponse(self.engine.file_length(request.file_id))
+            return wire.ErrorResponse(
+                ErrorCode.BAD_REQUEST, f"unhandled request {type(request).__name__}"
+            )
+        except (KeyError, FileNotFoundError) as exc:
+            self.engine.metrics.record_error("service_dispatch", exc)
+            return wire.ErrorResponse(ErrorCode.NOT_FOUND, str(exc))
+        except ValueError as exc:
+            self.engine.metrics.record_error("service_dispatch", exc)
+            return wire.ErrorResponse(ErrorCode.BAD_REQUEST, str(exc))
+        except Exception as exc:  # the wire gets an error frame, not a reset
+            self.engine.metrics.record_error("service_dispatch", exc)
+            return wire.ErrorResponse(ErrorCode.SERVER_ERROR, repr(exc))
+
+
+# -------------------------------------------------------------------- CLI
+
+
+def build_engine(
+    *,
+    capacity_mb: int,
+    page_kb: int,
+    policy: str,
+    files: int,
+    file_mb: int,
+    base_latency_ms: float,
+    bandwidth_mb_s: float,
+) -> CacheEngine:
+    """Engine + synthetic remote for the standalone server / load-gen rig."""
+    # deferred: keeps `import repro.service.server` free of repro.storage
+    from repro.core.config import CacheConfig
+    from repro.ports.clock import WallClock
+    from repro.storage.remote import SyntheticDataSource
+
+    source = SyntheticDataSource(
+        base_latency=base_latency_ms / 1000.0,
+        bandwidth=bandwidth_mb_s * 1024 * 1024,
+    )
+    for index in range(files):
+        source.add_file(f"bench/file-{index:05d}", file_mb * 1024 * 1024)
+    config = CacheConfig.small(
+        capacity_mb * 1024 * 1024, page_size=page_kb * 1024
+    )
+    config.eviction_policy = policy
+    return CacheEngine(config, source=source, clock=WallClock())
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-cache-server",
+        description="Serve the cache core over TCP (length-prefixed binary "
+        "protocol; see repro.service.protocol).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=9736)
+    parser.add_argument("--capacity-mb", type=int, default=256)
+    parser.add_argument("--page-kb", type=int, default=64)
+    parser.add_argument("--policy", default="lru")
+    parser.add_argument("--files", type=int, default=64,
+                        help="synthetic remote files to register")
+    parser.add_argument("--file-mb", type=int, default=8)
+    parser.add_argument("--base-latency-ms", type=float, default=2.0,
+                        help="modelled remote latency floor")
+    parser.add_argument("--bandwidth-mb-s", type=float, default=400.0)
+    parser.add_argument("--max-inflight", type=int, default=32)
+    parser.add_argument("--executor-workers", type=int, default=8)
+    parser.add_argument("--ttl-interval", type=float, default=0.0)
+    args = parser.parse_args(argv)
+
+    engine = build_engine(
+        capacity_mb=args.capacity_mb,
+        page_kb=args.page_kb,
+        policy=args.policy,
+        files=args.files,
+        file_mb=args.file_mb,
+        base_latency_ms=args.base_latency_ms,
+        bandwidth_mb_s=args.bandwidth_mb_s,
+    )
+
+    async def _run() -> None:
+        server = CacheServer(
+            engine,
+            host=args.host,
+            port=args.port,
+            max_inflight=args.max_inflight,
+            executor_workers=args.executor_workers,
+            ttl_interval=args.ttl_interval,
+        )
+        await server.start()
+        print(f"repro-cache-server listening on {server.host}:{server.port}")
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        try:
+            import signal
+
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                loop.add_signal_handler(sig, stop.set)
+        except NotImplementedError:
+            pass  # platform without signal handler support (e.g. Windows loop)
+        await stop.wait()
+        summary = await server.drain()
+        print(f"repro-cache-server drained: {summary}")
+
+    asyncio.run(_run())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,42 +1,11 @@
-"""Named, seeded random streams.
+"""Named, seeded random streams -- re-exported from :mod:`repro.ports.rng`.
 
-Every stochastic component (Zipf samplers, trace generators, random
-eviction, failure injection) draws from its own :class:`RngStream`, derived
-from a root seed plus the component's name.  Two benefits:
-
-- experiments are reproducible bit-for-bit from a single seed, and
-- adding draws to one component does not perturb any other component's
-  stream (no shared-generator coupling).
+:class:`RngStream` moved to the leaf ``repro.ports`` package so the
+transport-agnostic cache core can depend on it without importing the
+simulation substrate (DESIGN.md §14).  This module remains as the
+historical import path for simulation-side callers.
 """
 
-from __future__ import annotations
+from repro.ports.rng import RngStream
 
-import zlib
-
-import numpy as np
-
-
-class RngStream:
-    """A numpy ``Generator`` derived from ``(root_seed, name)``.
-
-    >>> a = RngStream(42, "zipf")
-    >>> b = RngStream(42, "zipf")
-    >>> float(a.rng.random()) == float(b.rng.random())
-    True
-    >>> c = RngStream(42, "eviction")
-    >>> float(RngStream(42, "zipf").rng.random()) == float(c.rng.random())
-    False
-    """
-
-    def __init__(self, root_seed: int, name: str) -> None:
-        self.root_seed = int(root_seed)
-        self.name = name
-        derived = zlib.crc32(name.encode("utf-8"))
-        self.rng = np.random.default_rng([self.root_seed, derived])
-
-    def child(self, name: str) -> "RngStream":
-        """Derive a sub-stream, e.g. ``traces`` -> ``traces/host1``."""
-        return RngStream(self.root_seed, f"{self.name}/{name}")
-
-    def __repr__(self) -> str:
-        return f"RngStream(root_seed={self.root_seed}, name={self.name!r})"
+__all__ = ["RngStream"]

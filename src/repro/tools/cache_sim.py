@@ -19,9 +19,9 @@ import sys
 
 from repro.analysis.report import Table, format_bytes
 from repro.core.admission.rate_limiter import BucketTimeRateLimit
-from repro.core.cache_manager import LocalCacheManager
 from repro.core.config import CacheConfig
 from repro.core.page import installed_time_source
+from repro.service.sim_transport import build_sim_cache
 from repro.sim.clock import SimClock
 from repro.sim.rng import RngStream
 from repro.storage.remote import NullDataSource
@@ -70,7 +70,7 @@ def _replay(
         if admission_threshold is not None
         else None
     )
-    cache = LocalCacheManager(
+    cache = build_sim_cache(
         config, clock=clock, admission=admission,
         rng=RngStream(1, f"cachesim/{policy}"),
     )

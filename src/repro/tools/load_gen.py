@@ -1,0 +1,394 @@
+"""``repro-load-gen``: closed-loop socket load against the cache service.
+
+The load generator is the third leg of the "one core, two transports"
+refactor (DESIGN.md §14): it drives the *real* asyncio server over TCP
+with the same Zipfian workload machinery the simulator uses
+(:mod:`repro.workload.zipf`), then replays the *identical* request
+sequence through the virtual-time transport
+(:class:`~repro.service.sim_transport.SimTransport`) and reports both
+latency shapes side by side -- the sim-vs-real calibration move.
+
+Output is ``BENCH_service.json`` split the same way as ``BENCH_kernel``:
+
+- ``work``   -- byte-stable-where-deterministic: the workload spec, a
+  hash of the generated key sequence, and the virtual-time results
+  (deterministic given the same arguments);
+- ``host``   -- measured wall-clock results (hit ratio, rps, p50/p99),
+  honest and machine-dependent, never gated byte-for-byte.
+
+Exit status is non-zero unless the run completed, the measured hit ratio
+is positive, and (in ``--self-host`` mode) the server drained cleanly --
+the CI ``service-smoke`` job relies on this.
+
+Usage::
+
+    repro-load-gen --self-host --requests 1000 --connections 16
+    repro-load-gen --host 127.0.0.1 --port 9736 --requests 10000
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import hashlib
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.ports.rng import RngStream
+from repro.service.client import AsyncCacheClient
+from repro.workload.zipf import ZipfSampler
+
+
+@dataclass(slots=True)
+class LoadGenConfig:
+    """Everything that defines one load-gen run."""
+
+    requests: int = 1000
+    connections: int = 8
+    files: int = 64
+    file_mb: int = 8
+    read_kb: int = 64
+    page_kb: int = 64
+    capacity_mb: int = 256
+    policy: str = "lru"
+    zipf_s: float = 1.1
+    seed: int = 42
+    base_latency_ms: float = 2.0
+    bandwidth_mb_s: float = 400.0
+    puts: int = 8
+    compare_sim: bool = True
+
+
+def file_name(index: int) -> str:
+    return f"bench/file-{index:05d}"
+
+
+def build_request_sequence(
+    config: LoadGenConfig,
+) -> tuple[list[tuple[str, int, int]], str]:
+    """Deterministic (file_id, offset, length) sequence + its hash.
+
+    Zipfian file popularity, page-aligned uniform offsets; both real and
+    virtual transports replay exactly this list, so any divergence in the
+    report is transport behaviour, not workload noise.
+    """
+    rng = RngStream(config.seed, "loadgen")
+    sampler = ZipfSampler(config.files, config.zipf_s, rng.child("files"))
+    ranks = sampler.sample(config.requests)
+    page = config.page_kb * 1024
+    length = config.read_kb * 1024
+    file_bytes = config.file_mb * 1024 * 1024
+    pages_per_file = max(1, (file_bytes - length) // page + 1)
+    offsets = rng.child("offsets").rng.integers(
+        0, pages_per_file, size=config.requests
+    )
+    requests = [
+        (file_name(int(rank)), int(offset) * page, length)
+        for rank, offset in zip(ranks, offsets)
+    ]
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(ranks.astype("<u8").tobytes())
+    digest.update(offsets.astype("<u8").tobytes())
+    return requests, digest.hexdigest()
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    position = q / 100.0 * (len(sorted_values) - 1)
+    return sorted_values[int(round(position))]
+
+
+def _latency_summary(latencies: list[float]) -> dict[str, float]:
+    ordered = sorted(latencies)
+    count = len(ordered)
+    return {
+        "p50_ms": round(_percentile(ordered, 50.0) * 1000, 6),
+        "p99_ms": round(_percentile(ordered, 99.0) * 1000, 6),
+        "mean_ms": round(
+            (sum(ordered) / count if count else 0.0) * 1000, 6
+        ),
+    }
+
+
+# ------------------------------------------------------------- virtual leg
+
+
+def run_sim_comparison(
+    config: LoadGenConfig, requests: list[tuple[str, int, int]],
+) -> dict[str, Any]:
+    """Replay the sequence under the kernel; deterministic results.
+
+    The virtual rig mirrors the server rig (same cache config, same
+    synthetic remote model) plus an SSD device with queueing, so
+    connection concurrency contends for the page store exactly as socket
+    concurrency contends for the real one.
+    """
+    # deferred: the sim substrate loads only when the comparison runs
+    from repro.core.config import CacheConfig
+    from repro.ports.clock import SimClock
+    from repro.service.sim_transport import SimTransport, build_sim_engine
+    from repro.storage.device import DeviceProfile, StorageDevice
+    from repro.storage.remote import SyntheticDataSource
+
+    clock = SimClock()
+    source = SyntheticDataSource(
+        base_latency=config.base_latency_ms / 1000.0,
+        bandwidth=config.bandwidth_mb_s * 1024 * 1024,
+    )
+    for index in range(config.files):
+        source.add_file(file_name(index), config.file_mb * 1024 * 1024)
+    cache_config = CacheConfig.small(
+        config.capacity_mb * 1024 * 1024, page_size=config.page_kb * 1024
+    )
+    cache_config.eviction_policy = config.policy
+    engine = build_sim_engine(
+        cache_config,
+        source=source,
+        clock=clock,
+        device=StorageDevice(
+            DeviceProfile.ssd_local(), clock, service_bucket="cache_ssd"
+        ),
+        rng=RngStream(config.seed, "loadgen/sim-cache"),
+    )
+    transport = SimTransport(engine)
+    outcome = transport.run_closed_loop(requests, clients=config.connections)
+    summary = _latency_summary(outcome.latencies)
+    virtual_rps = (
+        outcome.requests / outcome.virtual_seconds
+        if outcome.virtual_seconds > 0 else 0.0
+    )
+    return {
+        "requests": outcome.requests,
+        "hit_ratio": round(outcome.hit_ratio, 6),
+        "virtual_seconds": round(outcome.virtual_seconds, 6),
+        "virtual_rps": round(virtual_rps, 3),
+        **summary,
+    }
+
+
+# ---------------------------------------------------------------- real leg
+
+
+async def run_socket_load(
+    config: LoadGenConfig,
+    requests: list[tuple[str, int, int]],
+    host: str,
+    port: int,
+) -> dict[str, Any]:
+    """Closed-loop load over real sockets; measured results."""
+    clients = [
+        await AsyncCacheClient.connect(host, port)
+        for _ in range(config.connections)
+    ]
+    latencies: list[float] = []
+    errors = 0
+
+    async def worker(client: AsyncCacheClient, shard) -> None:
+        nonlocal errors
+        for file_id, offset, length in shard:
+            started = time.perf_counter()
+            try:
+                await client.get(file_id, offset, length)
+            except Exception:
+                errors += 1
+            else:
+                latencies.append(time.perf_counter() - started)
+
+    shards = [
+        [req for pos, req in enumerate(requests) if pos % config.connections == index]
+        for index in range(config.connections)
+    ]
+    wall_start = time.perf_counter()
+    await asyncio.gather(
+        *(worker(client, shard) for client, shard in zip(clients, shards))
+    )
+    wall = time.perf_counter() - wall_start
+
+    # exercise the full verb set: PUT fresh pages, EVICT them, HEALTH
+    page = config.page_kb * 1024
+    puts_admitted = 0
+    evicted = 0
+    for index in range(config.puts):
+        payload = bytes([index % 256]) * page
+        if await clients[index % len(clients)].put(
+            f"putbench/file-{index:03d}", 0, payload
+        ):
+            puts_admitted += 1
+        evicted += await clients[index % len(clients)].evict(
+            f"putbench/file-{index:03d}"
+        )
+    health = await clients[0].health()
+    stats = await clients[0].stats()
+    for client in clients:
+        await client.close()
+
+    counters = stats.get("counters", {})
+    hits = counters.get("get_hits", 0)
+    misses = counters.get("get_misses", 0)
+    return {
+        "requests": len(latencies),
+        "errors": errors,
+        "hit_ratio": round(stats.get("hit_ratio", 0.0), 6),
+        "page_hits": hits,
+        "page_misses": misses,
+        "wall_seconds": round(wall, 6),
+        "rps": round(len(latencies) / wall if wall > 0 else 0.0, 3),
+        "puts_admitted": puts_admitted,
+        "evicted_pages": evicted,
+        "health_status": health.get("status"),
+        **_latency_summary(latencies),
+    }
+
+
+# -------------------------------------------------------------------- rig
+
+
+async def _run_self_hosted(config: LoadGenConfig) -> tuple[dict, dict]:
+    """Boot a server in-process, load it over localhost, drain it."""
+    from repro.service.server import CacheServer, build_engine
+
+    engine = build_engine(
+        capacity_mb=config.capacity_mb,
+        page_kb=config.page_kb,
+        policy=config.policy,
+        files=config.files,
+        file_mb=config.file_mb,
+        base_latency_ms=config.base_latency_ms,
+        bandwidth_mb_s=config.bandwidth_mb_s,
+    )
+    server = CacheServer(engine, host="127.0.0.1", port=0)
+    await server.start()
+    try:
+        requests, _ = build_request_sequence(config)
+        measured = await run_socket_load(
+            config, requests, server.host, server.port
+        )
+    finally:
+        drain = await server.drain()
+    measured["drain"] = drain
+    return measured, drain
+
+
+def run(config: LoadGenConfig, *, host: str | None, port: int | None) -> dict:
+    """One full run; returns the BENCH_service payload."""
+    requests, sequence_hash = build_request_sequence(config)
+    work: dict[str, Any] = {
+        "workload": {
+            "requests": config.requests,
+            "connections": config.connections,
+            "files": config.files,
+            "file_mb": config.file_mb,
+            "read_kb": config.read_kb,
+            "page_kb": config.page_kb,
+            "capacity_mb": config.capacity_mb,
+            "policy": config.policy,
+            "zipf_s": config.zipf_s,
+            "seed": config.seed,
+            "sequence_hash": sequence_hash,
+        },
+    }
+    if config.compare_sim:
+        work["sim"] = run_sim_comparison(config, requests)
+
+    if host is not None and port is not None:
+        measured = asyncio.run(run_socket_load(config, requests, host, port))
+    else:
+        measured, _drain = asyncio.run(_run_self_hosted(config))
+
+    payload: dict[str, Any] = {"work": work, "host": measured}
+    if config.compare_sim:
+        sim = work["sim"]
+        payload["comparison"] = {
+            "sim_p50_ms": sim["p50_ms"],
+            "real_p50_ms": measured["p50_ms"],
+            "sim_p99_ms": sim["p99_ms"],
+            "real_p99_ms": measured["p99_ms"],
+            "sim_hit_ratio": sim["hit_ratio"],
+            "real_hit_ratio": measured["hit_ratio"],
+            "note": (
+                "sim models device + remote service time in virtual "
+                "seconds; real adds TCP, framing, and scheduler overhead"
+            ),
+        }
+    return payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-load-gen",
+        description="Closed-loop Zipfian load against the cache service, "
+        "with a sim-vs-real latency comparison.",
+    )
+    parser.add_argument("--host", default=None,
+                        help="connect to an already-running server")
+    parser.add_argument("--port", type=int, default=None)
+    parser.add_argument("--self-host", action="store_true",
+                        help="boot a server in-process on a free port")
+    parser.add_argument("--requests", type=int, default=1000)
+    parser.add_argument("--connections", type=int, default=8)
+    parser.add_argument("--files", type=int, default=64)
+    parser.add_argument("--file-mb", type=int, default=8)
+    parser.add_argument("--read-kb", type=int, default=64)
+    parser.add_argument("--page-kb", type=int, default=64)
+    parser.add_argument("--capacity-mb", type=int, default=256)
+    parser.add_argument("--policy", default="lru")
+    parser.add_argument("--zipf-s", type=float, default=1.1)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--base-latency-ms", type=float, default=2.0)
+    parser.add_argument("--bandwidth-mb-s", type=float, default=400.0)
+    parser.add_argument("--no-compare-sim", action="store_true")
+    parser.add_argument("--output", default="bench_reports/BENCH_service.json")
+    args = parser.parse_args(argv)
+
+    if not args.self_host and (args.host is None or args.port is None):
+        parser.error("pass --self-host, or both --host and --port")
+
+    config = LoadGenConfig(
+        requests=args.requests,
+        connections=args.connections,
+        files=args.files,
+        file_mb=args.file_mb,
+        read_kb=args.read_kb,
+        page_kb=args.page_kb,
+        capacity_mb=args.capacity_mb,
+        policy=args.policy,
+        zipf_s=args.zipf_s,
+        seed=args.seed,
+        base_latency_ms=args.base_latency_ms,
+        bandwidth_mb_s=args.bandwidth_mb_s,
+        compare_sim=not args.no_compare_sim,
+    )
+    payload = run(
+        config,
+        host=None if args.self_host else args.host,
+        port=None if args.self_host else args.port,
+    )
+
+    output = Path(args.output)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+    measured = payload["host"]
+    print(json.dumps(payload.get("comparison", measured), indent=2, sort_keys=True))
+    print(f"wrote {output}")
+
+    ok = (
+        measured["errors"] == 0
+        and measured["hit_ratio"] > 0
+        and measured.get("drain", {}).get("clean", True)
+    )
+    if not ok:
+        print("load-gen FAILED: "
+              f"errors={measured['errors']} hit_ratio={measured['hit_ratio']} "
+              f"drain={measured.get('drain')}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -110,7 +110,11 @@ class TestConfig:
         config = LintConfig()
         rows = {row["rule"]: row for row in config.describe()}
         assert "src/repro/core/page.py" in rows["DET001"]["allow"]
-        assert "src/repro/sim/rng.py" in rows["DET002"]["allow"]
+        assert "src/repro/ports/rng.py" in rows["DET002"]["allow"]
+        # the real-transport zone is an explicit allowlist entry, not a
+        # per-line suppression (DESIGN.md §14)
+        assert "src/repro/service/server.py" in rows["DET001"]["allow"]
+        assert "src/repro/tools/load_gen.py" in rows["DET001"]["allow"]
         assert all(row["enabled"] for row in rows.values())
 
 

@@ -108,6 +108,8 @@ class TestContractData:
             "obs-below-everything",
             "devtools-self-contained",
             "presto-cluster-hook",
+            "ports-leaf",
+            "cache-core-transport-agnostic",
             "errors-leaf",
         ]
 
@@ -127,6 +129,29 @@ class TestContractData:
         assert not contract.sanctions(
             "repro.presto.worker", "repro.cluster.membership"
         )
+
+    def test_exempt_modules_leave_the_scope(self):
+        contract = Contract(
+            name="x", description="d",
+            scope=("repro.core",), forbid=("repro.sim",),
+            exempt=("repro.core.pagestore.simulated",),
+        )
+        assert contract.governs("repro.core.cache_manager")
+        assert not contract.governs("repro.core.pagestore.simulated")
+        # dotted-prefix semantics: submodules of an exempt module too
+        assert not contract.governs("repro.core.pagestore.simulated.faults")
+
+    def test_cache_core_contract_flags_sim_import_from_core(self):
+        contract = next(
+            c for c in DEFAULT_CONTRACTS
+            if c.name == "cache-core-transport-agnostic"
+        )
+        assert contract.governs("repro.core.engine")
+        assert contract.governs("repro.service.server")
+        assert contract.forbids("repro.sim.kernel")
+        # ...but the two reviewed adapters may bridge into the kernel
+        assert not contract.governs("repro.core.pagestore.simulated")
+        assert not contract.governs("repro.service.sim_transport")
 
 
 class TestRealTreeContracts:

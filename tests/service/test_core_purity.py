@@ -1,0 +1,58 @@
+"""The cache core must not drag in the simulator (or real transports).
+
+The ``cache-core-transport-agnostic`` ARC contract enforces this
+statically; these tests enforce it *dynamically* -- importing the core in
+a fresh interpreter must leave ``repro.sim`` and ``repro.storage``
+unimported, which is what makes the engine embeddable in any transport.
+"""
+
+import subprocess
+import sys
+
+CHECK = """
+import sys
+import {module}
+leaked = sorted(
+    name for name in sys.modules
+    if name == "repro.sim" or name.startswith("repro.sim.")
+    or name == "repro.storage" or name.startswith("repro.storage.")
+    {service_clause}
+)
+print(",".join(leaked) if leaked else "CLEAN")
+"""
+
+
+def _leaked_modules(module: str, *, forbid_service: bool = True) -> str:
+    service_clause = (
+        'or name == "repro.service" or name.startswith("repro.service.")'
+        if forbid_service
+        else ""
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", CHECK.format(module=module, service_clause=service_clause)],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return result.stdout.strip()
+
+
+class TestImportPurity:
+    def test_core_engine_imports_no_transport(self):
+        assert _leaked_modules("repro.core.engine") == "CLEAN"
+
+    def test_cache_manager_imports_no_transport(self):
+        assert _leaked_modules("repro.core.cache_manager") == "CLEAN"
+
+    def test_core_package_imports_no_transport(self):
+        assert _leaked_modules("repro.core") == "CLEAN"
+
+    def test_ports_package_is_a_leaf(self):
+        assert _leaked_modules("repro.ports") == "CLEAN"
+
+    def test_protocol_module_is_pure_codec(self):
+        # the wire codec may be reused by other tools; it must not pull
+        # in the sim or the storage model either
+        assert _leaked_modules(
+            "repro.service.protocol", forbid_service=False
+        ) == "CLEAN"

@@ -1,0 +1,104 @@
+"""Tests for the closed-loop load generator (``repro-load-gen``)."""
+
+import dataclasses
+import json
+
+from repro.tools.load_gen import (
+    LoadGenConfig,
+    build_request_sequence,
+    main,
+    run,
+    run_sim_comparison,
+)
+
+SMALL = LoadGenConfig(
+    requests=120,
+    connections=4,
+    files=8,
+    file_mb=1,
+    read_kb=16,
+    page_kb=16,
+    capacity_mb=4,
+    base_latency_ms=0.0,
+    bandwidth_mb_s=10_000.0,
+    puts=3,
+)
+
+
+class TestRequestSequence:
+    def test_sequence_is_deterministic(self):
+        first, hash_a = build_request_sequence(SMALL)
+        second, hash_b = build_request_sequence(SMALL)
+        assert first == second
+        assert hash_a == hash_b
+
+    def test_sequence_changes_with_the_seed(self):
+        _, hash_a = build_request_sequence(SMALL)
+        reseeded = dataclasses.replace(SMALL, seed=SMALL.seed + 1)
+        _, hash_b = build_request_sequence(reseeded)
+        assert hash_a != hash_b
+
+    def test_requests_are_page_aligned_and_in_range(self):
+        requests, _ = build_request_sequence(SMALL)
+        page = SMALL.page_kb * 1024
+        file_bytes = SMALL.file_mb * 1024 * 1024
+        assert len(requests) == SMALL.requests
+        for file_id, offset, length in requests:
+            assert file_id.startswith("bench/file-")
+            assert offset % page == 0
+            assert offset + length <= file_bytes
+            assert length == SMALL.read_kb * 1024
+
+
+class TestSimComparison:
+    def test_sim_leg_is_deterministic(self):
+        requests, _ = build_request_sequence(SMALL)
+        first = run_sim_comparison(SMALL, requests)
+        second = run_sim_comparison(SMALL, requests)
+        assert first == second
+        assert first["requests"] == SMALL.requests
+        assert 0.0 < first["hit_ratio"] < 1.0
+        assert first["virtual_seconds"] > 0
+
+
+class TestSelfHostedRun:
+    def test_run_produces_both_sections_and_a_positive_hit_ratio(self):
+        payload = run(SMALL, host=None, port=None)
+        work, host = payload["work"], payload["host"]
+        assert work["workload"]["sequence_hash"]
+        assert work["sim"]["hit_ratio"] > 0
+        assert host["requests"] == SMALL.requests
+        assert host["errors"] == 0
+        assert host["hit_ratio"] > 0
+        assert host["drain"]["clean"] is True
+        assert host["puts_admitted"] == SMALL.puts
+        assert host["evicted_pages"] == SMALL.puts
+        assert host["health_status"] == "ok"
+        assert payload["comparison"]["sim_hit_ratio"] == work["sim"]["hit_ratio"]
+
+    def test_main_writes_the_report_and_exits_zero(self, tmp_path, capsys):
+        output = tmp_path / "BENCH_service.json"
+        code = main([
+            "--self-host",
+            "--requests", "80",
+            "--connections", "4",
+            "--files", "8",
+            "--file-mb", "1",
+            "--read-kb", "16",
+            "--page-kb", "16",
+            "--capacity-mb", "4",
+            "--base-latency-ms", "0",
+            "--bandwidth-mb-s", "10000",
+            "--output", str(output),
+        ])
+        assert code == 0
+        payload = json.loads(output.read_text())
+        assert set(payload) == {"work", "host", "comparison"}
+        assert payload["host"]["hit_ratio"] > 0
+        assert "wrote" in capsys.readouterr().out
+
+    def test_main_requires_a_target(self, capsys):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            main(["--requests", "10"])

@@ -1,0 +1,167 @@
+"""Codec tests for the cache service wire format.
+
+The protocol module is pure bytes-in/bytes-out, so these tests cover the
+full request/response matrix plus the malformed-frame edges (truncation,
+unknown opcodes, trailing bytes, oversized frames) without any sockets.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.service.protocol import (
+    MAX_FRAME,
+    ErrorCode,
+    ErrorResponse,
+    EvictRequest,
+    EvictResponse,
+    GetRequest,
+    GetResponse,
+    HealthRequest,
+    HealthResponse,
+    LengthRequest,
+    LengthResponse,
+    Opcode,
+    ProtocolError,
+    PutRequest,
+    PutResponse,
+    StatsRequest,
+    StatsResponse,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+    read_frame,
+    read_frame_length,
+)
+
+REQUESTS = [
+    GetRequest("bench/file-00001", 4096, 65536),
+    GetRequest("", 0, 0),
+    PutRequest("f", 3, b"\xde\xad" * 100),
+    PutRequest("f", 0, b""),
+    EvictRequest("f", 7),
+    EvictRequest("whole/file", None),
+    StatsRequest(0),
+    StatsRequest(1),
+    HealthRequest(),
+    LengthRequest("some file with spaces and unicode é"),
+]
+
+RESPONSES = [
+    GetResponse(b"payload" * 9, True, 4, 0),
+    GetResponse(b"", False, 0, 3),
+    PutResponse(True),
+    PutResponse(False),
+    EvictResponse(12),
+    StatsResponse(b'{"counters": {}}'),
+    HealthResponse(b'{"status": "ok"}'),
+    LengthResponse(8 * 1024 * 1024),
+    ErrorResponse(ErrorCode.NOT_FOUND, "no such file"),
+    ErrorResponse(ErrorCode.DRAINING, ""),
+]
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("request_obj", REQUESTS, ids=lambda r: type(r).__name__)
+    def test_request_round_trip(self, request_obj):
+        frame = encode_request(request_obj, request_id=42)
+        assert read_frame_length(frame[:4]) == len(frame) - 4
+        request_id, decoded = decode_request(frame[4:])
+        assert request_id == 42
+        assert decoded == request_obj
+
+    @pytest.mark.parametrize("response_obj", RESPONSES, ids=lambda r: type(r).__name__)
+    def test_response_round_trip(self, response_obj):
+        frame = encode_response(response_obj, request_id=2**63)
+        request_id, decoded = decode_response(frame[4:])
+        assert request_id == 2**63
+        assert decoded == response_obj
+
+    def test_request_ids_are_echoed_verbatim(self):
+        for request_id in (0, 1, 2**64 - 1):
+            frame = encode_request(HealthRequest(), request_id=request_id)
+            assert decode_request(frame[4:])[0] == request_id
+
+
+class TestMalformedFrames:
+    def test_truncated_request_body(self):
+        frame = encode_request(GetRequest("file", 0, 4096), request_id=1)
+        with pytest.raises(ProtocolError, match="truncated"):
+            decode_request(frame[4:-3])
+
+    def test_trailing_bytes_rejected(self):
+        frame = encode_request(EvictRequest("f", 1), request_id=1)
+        with pytest.raises(ProtocolError, match="trailing"):
+            decode_request(frame[4:] + b"\x00")
+
+    def test_unknown_request_opcode(self):
+        frame = bytearray(encode_request(HealthRequest(), request_id=1))
+        frame[4] = 0x7E
+        with pytest.raises(ProtocolError, match="unknown request opcode"):
+            decode_request(bytes(frame[4:]))
+
+    def test_response_without_response_bit(self):
+        frame = bytearray(encode_response(PutResponse(True), request_id=1))
+        frame[4] = Opcode.PUT  # strip the response bit
+        with pytest.raises(ProtocolError, match="response bit"):
+            decode_response(bytes(frame[4:]))
+
+    def test_oversized_frame_refused_before_allocation(self):
+        with pytest.raises(ProtocolError, match="too large"):
+            read_frame_length((MAX_FRAME + 1).to_bytes(4, "big"))
+
+    def test_undersized_payload_length_refused(self):
+        with pytest.raises(ProtocolError, match="too short"):
+            read_frame_length((4).to_bytes(4, "big"))
+
+    def test_overlong_string_field_refused_at_encode(self):
+        with pytest.raises(ProtocolError, match="too long"):
+            encode_request(LengthRequest("x" * 70000), request_id=1)
+
+
+class TestFrameStream:
+    @staticmethod
+    def _read_from(data: bytes):
+        # StreamReader must be built inside a running loop
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(data)
+            reader.feed_eof()
+            return await read_frame(reader)
+
+        return asyncio.run(scenario())
+
+    def test_read_frame_returns_payload(self):
+        frame = encode_request(GetRequest("f", 0, 100), request_id=9)
+        payload = self._read_from(frame)
+        assert payload == frame[4:]
+        assert decode_request(payload)[1] == GetRequest("f", 0, 100)
+
+    def test_clean_eof_returns_none(self):
+        assert self._read_from(b"") is None
+
+    def test_eof_mid_prefix_raises(self):
+        with pytest.raises(ProtocolError, match="mid length prefix"):
+            self._read_from(b"\x00\x00")
+
+    def test_eof_mid_frame_raises(self):
+        frame = encode_request(HealthRequest(), request_id=1)
+        with pytest.raises(ProtocolError, match="mid frame"):
+            self._read_from(frame[:-2])
+
+    def test_two_frames_back_to_back(self):
+        async def scenario():
+            a = encode_request(HealthRequest(), request_id=1)
+            b = encode_request(LengthRequest("f"), request_id=2)
+            reader = asyncio.StreamReader()
+            reader.feed_data(a + b)
+            reader.feed_eof()
+            first = decode_request(await read_frame(reader))
+            second = decode_request(await read_frame(reader))
+            return first, second, await read_frame(reader)
+
+        first, second, tail = asyncio.run(scenario())
+        assert first == (1, HealthRequest())
+        assert second == (2, LengthRequest("f"))
+        assert tail is None

@@ -1,0 +1,102 @@
+"""The sync facade over the service composes with the PR 1 resilience stack.
+
+``RemoteCacheDataSource`` implements the same ``DataSource`` protocol as
+``SyntheticDataSource``, so ``ResilientDataSource`` (retry / hedge /
+circuit breaker) must wrap it unchanged -- over real sockets.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.core.config import CacheConfig
+from repro.core.engine import CacheEngine
+from repro.errors import FileNotFoundInStorageError
+from repro.ports.clock import WallClock
+from repro.resilience.source import ResilientDataSource
+from repro.service.client import RemoteCacheDataSource
+from repro.service.server import CacheServer
+from repro.storage.remote import SyntheticDataSource
+
+KIB = 1024
+PAGE = 16 * KIB
+
+
+class ServerThread:
+    """A CacheServer on its own event-loop thread, for sync-client tests."""
+
+    def __init__(self) -> None:
+        source = SyntheticDataSource(base_latency=0.0, bandwidth=1e12)
+        for index in range(4):
+            source.add_file(f"file-{index}", 8 * PAGE)
+        self.engine = CacheEngine(
+            CacheConfig.small(64 * PAGE, page_size=PAGE),
+            source=source,
+            clock=WallClock(),
+        )
+        self.server = CacheServer(self.engine)
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="test-server-loop", daemon=True
+        )
+        self._thread.start()
+        asyncio.run_coroutine_threadsafe(
+            self.server.start(), self._loop
+        ).result(10)
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def stop(self) -> dict:
+        summary = asyncio.run_coroutine_threadsafe(
+            self.server.drain(), self._loop
+        ).result(30)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10)
+        self._loop.close()
+        return summary
+
+
+@pytest.fixture()
+def server():
+    rig = ServerThread()
+    try:
+        yield rig
+    finally:
+        rig.stop()
+
+
+class TestSyncFacade:
+    def test_read_matches_reference_content(self, server):
+        reference = SyntheticDataSource(base_latency=0.0, bandwidth=1e12)
+        reference.add_file("file-1", 8 * PAGE)
+        with RemoteCacheDataSource("127.0.0.1", server.port) as remote:
+            result = remote.read("file-1", 3 * KIB, 2 * KIB)
+            assert result.data == reference.read("file-1", 3 * KIB, 2 * KIB).data
+            assert result.latency > 0  # measured wall time, not modelled
+            assert remote.file_length("file-1") == 8 * PAGE
+
+    def test_missing_file_raises_the_repo_exception(self, server):
+        with RemoteCacheDataSource("127.0.0.1", server.port) as remote:
+            with pytest.raises(FileNotFoundInStorageError):
+                remote.read("no/such/file", 0, KIB)
+
+    def test_resilient_wrapper_composes_over_sockets(self, server):
+        reference = SyntheticDataSource(base_latency=0.0, bandwidth=1e12)
+        reference.add_file("file-2", 8 * PAGE)
+        with RemoteCacheDataSource("127.0.0.1", server.port) as remote:
+            resilient = ResilientDataSource(remote)
+            result = resilient.read("file-2", 0, 4 * KIB)
+            assert result.data == reference.read("file-2", 0, 4 * KIB).data
+            assert resilient.file_length("file-2") == 8 * PAGE
+
+    def test_resilient_wrapper_does_not_retry_not_found(self, server):
+        # NOT_FOUND maps to FileNotFoundInStorageError, which is not in
+        # the retryable set -- one socket round trip, then a clean raise
+        with RemoteCacheDataSource("127.0.0.1", server.port) as remote:
+            resilient = ResilientDataSource(remote)
+            with pytest.raises(FileNotFoundInStorageError):
+                resilient.read("no/such/file", 0, KIB)
+            assert resilient.metrics.counters().get("retries", 0) == 0

@@ -1,0 +1,123 @@
+"""``Kernel.call_after_many`` must be indistinguishable from the loop.
+
+The batch path may rebuild the heap with one ``heapify`` instead of m
+pushes; pop order depends only on ``(when, seq)``, so both paths must
+produce identical fire order, identical handles, and identical pending
+counts -- including when batches land on a heap that already has timers.
+"""
+
+import pytest
+
+from repro.obs.profiler import KernelProfiler
+from repro.ports.clock import SimClock
+from repro.sim.kernel import Kernel
+
+
+def record(log, tag):
+    return lambda: log.append((tag, None))
+
+
+class TestEquivalence:
+    def _fire_order(self, *, batch: bool, delays) -> list:
+        kernel = Kernel(SimClock())
+        log: list = []
+        items = [
+            (delay, (lambda t: (lambda: log.append(t)))(tag))
+            for tag, delay in enumerate(delays)
+        ]
+        if batch:
+            kernel.call_after_many(items)
+        else:
+            for delay, callback in items:
+                kernel.call_after(delay, callback)
+        kernel.run_all()
+        return log
+
+    @pytest.mark.parametrize(
+        "delays",
+        [
+            [3.0, 1.0, 2.0, 1.0, 0.0],
+            [0.0] * 6,                       # all ties: submission order
+            [5.0, 4.0, 3.0, 2.0, 1.0, 0.5],  # reverse sorted
+            [],
+        ],
+        ids=["mixed", "ties", "reversed", "empty"],
+    )
+    def test_batch_and_loop_fire_in_the_same_order(self, delays):
+        assert self._fire_order(batch=True, delays=delays) == self._fire_order(
+            batch=False, delays=delays
+        )
+
+    def test_small_batch_on_large_heap_uses_push_path(self):
+        # below the heapify threshold (m * 8 < heap size): still equivalent
+        kernel = Kernel(SimClock())
+        log: list = []
+        for index in range(100):
+            kernel.call_after(float(index), lambda i=index: log.append(("pre", i)))
+        kernel.call_after_many(
+            [(0.5, lambda: log.append(("batch", 0))),
+             (1.5, lambda: log.append(("batch", 1)))]
+        )
+        kernel.run_all()
+        assert log.index(("batch", 0)) == log.index(("pre", 0)) + 1
+        assert log.index(("batch", 1)) == log.index(("pre", 1)) + 1
+        assert len(log) == 102
+
+    def test_large_batch_on_small_heap_uses_heapify_path(self):
+        kernel = Kernel(SimClock())
+        log: list = []
+        kernel.call_after(2.5, lambda: log.append("pre"))
+        kernel.call_after_many(
+            [(float(i % 5), lambda i=i: log.append(i)) for i in range(64)]
+        )
+        kernel.run_all()
+        assert len(log) == 65
+        # within one instant, submission order is preserved
+        at_zero = [x for x in log if isinstance(x, int) and x % 5 == 0]
+        assert at_zero == sorted(at_zero)
+        # 2.5 sits between the 2.0 group (last member: i=62) and 3.0 group
+        assert log.index("pre") == log.index(62) + 1
+
+
+class TestBookkeeping:
+    def test_pending_count_and_len(self):
+        kernel = Kernel(SimClock())
+        handles = kernel.call_after_many([(1.0, lambda: None)] * 7)
+        assert len(kernel) == 7
+        assert len(handles) == 7
+        handles[3].cancel()
+        assert len(kernel) == 6
+        kernel.run_all()
+        assert len(kernel) == 0
+
+    def test_cancelled_batch_timer_never_fires(self):
+        kernel = Kernel(SimClock())
+        log: list = []
+        handles = kernel.call_after_many(
+            [(1.0, record(log, "a")), (2.0, record(log, "b"))]
+        )
+        handles[1].cancel()
+        kernel.run_all()
+        assert [tag for tag, _ in log] == ["a"]
+
+    def test_negative_delay_rejected(self):
+        kernel = Kernel(SimClock())
+        with pytest.raises(ValueError, match=">= 0"):
+            kernel.call_after_many([(1.0, lambda: None), (-0.1, lambda: None)])
+
+    def test_empty_iterable_returns_no_handles(self):
+        kernel = Kernel(SimClock())
+        assert kernel.call_after_many([]) == []
+        assert len(kernel) == 0
+
+    def test_profiled_kernel_counts_batch_timers(self):
+        kernel = Kernel(SimClock())
+        profiler = KernelProfiler(kernel.clock)
+        kernel.attach_profiler(profiler)
+        handles = kernel.call_after_many(
+            [(1.0, lambda: None), (2.0, lambda: None), (3.0, lambda: None)]
+        )
+        handles[0].cancel()
+        kernel.run_all()
+        assert profiler.profile.timer_inserts == 3
+        assert profiler.profile.timer_cancels == 1

@@ -6,9 +6,10 @@ import importlib
 import pytest
 
 MODULE_NAMES = [
-    "repro.sim.clock",
+    "repro.ports.clock",
+    "repro.ports.concurrency",
+    "repro.ports.rng",
     "repro.sim.events",
-    "repro.sim.rng",
     "repro.core.page",
     "repro.core.indexed_set",
     "repro.core.admission.rate_limiter",
